@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Figure 1: 99th-percentile latency versus achieved
+ * throughput for the router at 2.3 GHz on one core, Vanilla
+ * (FastClick/Copying) against PacketMill (X-Change + all source
+ * passes), sweeping the offered load. PacketMill shifts the knee of
+ * the curve right and down; overlapping points past the knee show
+ * throughput capping under overload.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table_printer.hh"
+#include "src/runtime/experiments.hh"
+
+using namespace pmill;
+
+int
+main()
+{
+    const Trace trace = default_campus_trace();
+    const std::string config = router_config();
+    const std::vector<double> offered = {10, 20, 30, 40, 50, 55,
+                                         60, 70, 80, 90, 100};
+
+    TablePrinter t;
+    t.header({"Offered(Gbps)", "Vanilla Thr", "Vanilla p99(us)",
+              "PacketMill Thr", "PacketMill p99(us)"});
+    for (double load : offered) {
+        std::vector<std::string> row = {strprintf("%.0f", load)};
+        for (const PipelineOpts &o : {opts_vanilla(), opts_packetmill()}) {
+            ExperimentSpec spec;
+            spec.config = config;
+            spec.opts = o;
+            spec.freq_ghz = 2.3;
+            spec.offered_gbps = load;
+            RunResult r = measure(spec, trace);
+            row.push_back(strprintf("%.1f", r.throughput_gbps));
+            row.push_back(strprintf("%.1f", r.p99_latency_us));
+        }
+        t.row(row);
+    }
+    t.print("Figure 1: p99 latency vs throughput, router @ 2.3 GHz");
+    std::printf("\nPaper reference: PacketMill's knee sits at a higher "
+                "throughput and lower latency; past saturation the "
+                "achieved throughput stays capped while p99 explodes.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Figure 5a: forwarder throughput vs. processor frequency
+ * for the three metadata-management models (Copying, Overlaying,
+ * X-Change), one NIC and one core, LTO enabled everywhere (§4.2).
+ * Fixed-size 1024-B packets at 100 Gbps offered load.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table_printer.hh"
+#include "src/runtime/experiments.hh"
+
+using namespace pmill;
+
+int
+main()
+{
+    const Trace trace = make_fixed_size_trace(1024, 2048, 512);
+    const std::string config = forwarder_config();
+    const std::vector<double> freqs = {1.2, 1.6, 2.0, 2.2, 2.4, 2.6, 3.0};
+
+    TablePrinter t;
+    t.header({"Freq(GHz)", "Copying", "Overlaying", "X-Change"});
+    for (double f : freqs) {
+        std::vector<std::string> row = {strprintf("%.1f", f)};
+        for (MetadataModel m :
+             {MetadataModel::kCopying, MetadataModel::kOverlaying,
+              MetadataModel::kXchange}) {
+            ExperimentSpec spec;
+            spec.config = config;
+            spec.opts = opts_model(m);
+            spec.freq_ghz = f;
+            RunResult r = measure(spec, trace);
+            row.push_back(strprintf("%.1f", r.throughput_gbps));
+        }
+        t.row(row);
+    }
+    t.print("Figure 5a: forwarder throughput (Gbps), one NIC / one core");
+    std::printf("\nPaper reference: X-Change saturates the link first "
+                "(~2.2 GHz), then Overlaying (~2.6 GHz); Copying trails "
+                "throughout.\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Figure 8: a more compute-intensive NF — the IDS+router
+ * (header-correctness checks plus VLAN encapsulation) — Vanilla vs
+ * PacketMill across frequencies: throughput and median latency.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table_printer.hh"
+#include "src/runtime/experiments.hh"
+
+using namespace pmill;
+
+int
+main()
+{
+    const Trace trace = default_campus_trace();
+    const std::string config = ids_router_config();
+    const std::vector<double> freqs = {1.2, 1.6, 2.0, 2.3, 2.6, 3.0};
+
+    TablePrinter t;
+    t.header({"Freq(GHz)", "Vanilla Gbps", "PacketMill Gbps",
+              "Vanilla lat(us)", "PacketMill lat(us)"});
+    for (double f : freqs) {
+        std::vector<std::string> row = {strprintf("%.1f", f)};
+        std::vector<std::string> lat;
+        for (const PipelineOpts &o : {opts_vanilla(), opts_packetmill()}) {
+            ExperimentSpec spec;
+            spec.config = config;
+            spec.opts = o;
+            spec.freq_ghz = f;
+            RunResult r = measure(spec, trace);
+            row.push_back(strprintf("%.1f", r.throughput_gbps));
+            lat.push_back(strprintf("%.1f", r.median_latency_us));
+        }
+        row.insert(row.end(), lat.begin(), lat.end());
+        t.row(row);
+    }
+    t.print("Figure 8: IDS+router+VLAN, throughput & median latency");
+    std::printf("\nPaper reference: up to ~20%% higher throughput and "
+                "~17%% lower latency for PacketMill on this more "
+                "CPU-demanding NF.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Figure 9: the memory-intensiveness slice of Figure 7a —
+ * WorkPackage with N = 1 access/packet and W = 4 (an emulated simple
+ * KVS), sweeping the accessed-memory size S. Reports throughput, LLC
+ * load-miss percentage, and LLC loads for Vanilla and PacketMill.
+ * Expected thresholds: LLC loads saturate once S exceeds the L2
+ * (~3 MiB in the paper), and misses rise once S spills the LLC's
+ * CPU-usable capacity (~14 MiB).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table_printer.hh"
+#include "src/runtime/experiments.hh"
+
+using namespace pmill;
+
+int
+main()
+{
+    const Trace trace = make_fixed_size_trace(1024, 2048, 512);
+    const std::vector<std::uint32_t> sizes = {1, 2, 3, 4, 6, 8,
+                                              10, 12, 14, 16, 18, 20};
+
+    TablePrinter t;
+    t.header({"S(MiB)", "Vanilla Gbps", "PMill Gbps", "Vanilla miss%",
+              "PMill miss%", "Vanilla kLoads", "PMill kLoads"});
+    for (auto s : sizes) {
+        const std::string config = workpackage_config(s, 1, 4);
+        std::vector<std::string> thr, miss, loads;
+        for (const PipelineOpts &o : {opts_vanilla(), opts_packetmill()}) {
+            ExperimentSpec spec;
+            spec.config = config;
+            spec.opts = o;
+            spec.freq_ghz = 2.3;
+            RunResult r = measure(spec, trace);
+            thr.push_back(strprintf("%.1f", r.throughput_gbps));
+            const double pct =
+                r.mem.llc_loads()
+                    ? 100.0 * static_cast<double>(r.mem.llc_load_misses) /
+                          static_cast<double>(r.mem.llc_loads())
+                    : 0.0;
+            miss.push_back(strprintf("%.1f", pct));
+            loads.push_back(strprintf("%.0f", r.llc_kloads_per_100ms));
+        }
+        t.row({strprintf("%u", s), thr[0], thr[1], miss[0], miss[1],
+               loads[0], loads[1]});
+    }
+    t.print("Figure 9: WorkPackage(N=1, W=4) memory-footprint sweep "
+            "@ 2.3 GHz");
+    std::printf("\nPaper reference: throughput inversely tracks LLC "
+                "loads; loads saturate once S exceeds the private "
+                "caches; the miss%% climbs past the LLC threshold "
+                "(~14 MiB) while throughput degrades only mildly "
+                "(~90%% of loads still hit).\n");
+    return 0;
+}

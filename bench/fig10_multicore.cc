@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Figure 10: multicore scaling of the NAT (router +
+ * stateful NAPT) at 2.3 GHz, RSS spreading flows over 1..4 cores,
+ * Vanilla vs PacketMill.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table_printer.hh"
+#include "src/runtime/experiments.hh"
+
+using namespace pmill;
+
+int
+main()
+{
+    // 1024-B packets as in the artifact's multicore experiment.
+    const Trace trace = make_fixed_size_trace(1024, 32768, 16384);
+    const std::string config = nat_config();
+
+    TablePrinter t;
+    t.header({"Cores", "Vanilla Gbps", "PacketMill Gbps", "Improvement"});
+    for (std::uint32_t cores = 1; cores <= 4; ++cores) {
+        ExperimentSpec spec;
+        spec.config = config;
+        spec.freq_ghz = 2.3;
+        spec.num_cores = cores;
+
+        spec.opts = opts_vanilla();
+        const double v = measure(spec, trace).throughput_gbps;
+        spec.opts = opts_packetmill();
+        const double p = measure(spec, trace).throughput_gbps;
+        t.row({strprintf("%u", cores), strprintf("%.1f", v),
+               strprintf("%.1f", p),
+               strprintf("%+.0f%%", (p / v - 1.0) * 100.0)});
+    }
+    t.print("Figure 10: NAT throughput vs cores @ 2.3 GHz (RSS)");
+    std::printf("\nPaper reference: PacketMill's multicore gains are "
+                "comparable to its single-core gains; both scale with "
+                "cores until the link saturates.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Figure 11a: FastClick (Copying), the DPDK l2fwd sample,
+ * PacketMill (X-Change), and l2fwd-xchg forwarding fixed-size
+ * packets on a single core at 1.2 GHz.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table_printer.hh"
+#include "src/runtime/experiments.hh"
+
+using namespace pmill;
+
+int
+main()
+{
+    const std::vector<std::uint32_t> sizes = {64,  128, 256,  512,
+                                              768, 1024, 1280, 1504};
+    const std::string config = forwarder_config();
+
+    struct App {
+        const char *name;
+        PipelineOpts opts;
+    };
+    const std::vector<App> apps = {
+        {"FastClick(Copying)", opts_model(MetadataModel::kCopying)},
+        {"l2fwd", opts_l2fwd()},
+        {"PacketMill(X-Change)", opts_packetmill()},
+        {"l2fwd-xchg", opts_l2fwd_xchg()},
+    };
+
+    TablePrinter t;
+    std::vector<std::string> header = {"Size(B)"};
+    for (const auto &a : apps)
+        header.push_back(a.name);
+    t.header(header);
+
+    for (auto size : sizes) {
+        const Trace trace = make_fixed_size_trace(size, 2048, 512);
+        std::vector<std::string> row = {strprintf("%u", size)};
+        for (const auto &a : apps) {
+            ExperimentSpec spec;
+            spec.config = config;
+            spec.opts = a.opts;
+            spec.freq_ghz = 1.2;
+            RunResult r = measure(spec, trace);
+            row.push_back(strprintf("%.1f", r.throughput_gbps));
+        }
+        t.row(row);
+    }
+    t.print("Figure 11a: single-core forwarding @ 1.2 GHz (Gbps)");
+    std::printf("\nPaper reference: l2fwd-xchg forwards up to ~59%% "
+                "faster than l2fwd; PacketMill beats even the bare "
+                "l2fwd despite running a full modular framework.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Figure 11b: state-of-the-art packet-processing
+ * frameworks forwarding fixed-size packets on one core at 1.2 GHz:
+ * VPP, FastClick (Copying), FastClick-Light (Overlaying), BESS, and
+ * PacketMill (X-Change + source passes).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table_printer.hh"
+#include "src/runtime/experiments.hh"
+
+using namespace pmill;
+
+int
+main()
+{
+    const std::vector<std::uint32_t> sizes = {64,  128, 256,  512,
+                                              768, 1024, 1280, 1504};
+    const std::string config = forwarder_config();
+
+    struct Fw {
+        const char *name;
+        PipelineOpts opts;
+    };
+    const std::vector<Fw> fws = {
+        {"VPP", opts_vpp()},
+        {"FastClick", opts_model(MetadataModel::kCopying)},
+        {"FastClick-Light", opts_fastclick_light()},
+        {"BESS", opts_bess()},
+        {"PacketMill", opts_packetmill()},
+    };
+
+    TablePrinter t;
+    std::vector<std::string> header = {"Size(B)"};
+    for (const auto &f : fws)
+        header.push_back(f.name);
+    t.header(header);
+
+    for (auto size : sizes) {
+        const Trace trace = make_fixed_size_trace(size, 2048, 512);
+        std::vector<std::string> row = {strprintf("%u", size)};
+        for (const auto &f : fws) {
+            ExperimentSpec spec;
+            spec.config = config;
+            spec.opts = f.opts;
+            spec.freq_ghz = 1.2;
+            RunResult r = measure(spec, trace);
+            row.push_back(strprintf("%.1f", r.throughput_gbps));
+        }
+        t.row(row);
+    }
+    t.print("Figure 11b: frameworks forwarding @ 1.2 GHz (Gbps)");
+    std::printf("\nPaper reference: PacketMill best overall; VPP and "
+                "FastClick (both copy-based) similar; FastClick-Light "
+                "approaches BESS once Overlaying is enabled.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces the §4.1 "LTO & structure reordering" result: applying
+ * LTO plus the Packet-class field-reordering pass to the router at
+ * 3 GHz (Copying model) improves throughput by single-digit percent
+ * at no extra cost, with reordering contributing about a third.
+ */
+
+#include <cstdio>
+
+#include "src/common/table_printer.hh"
+#include "src/mill/packet_mill.hh"
+#include "src/runtime/experiments.hh"
+
+using namespace pmill;
+
+int
+main()
+{
+    const Trace trace = default_campus_trace();
+    const std::string config = router_config();
+
+    auto run = [&](const char *name, PipelineOpts o, TablePrinter &t,
+                   double base) {
+        ExperimentSpec spec;
+        spec.config = config;
+        spec.opts = o;
+        spec.freq_ghz = 3.0;
+        RunResult r = measure(spec, trace);
+        const double gain =
+            base > 0 ? (r.throughput_gbps / base - 1.0) * 100.0 : 0.0;
+        t.row({name, strprintf("%.2f", r.throughput_gbps),
+               strprintf("%.1f", r.median_latency_us),
+               base > 0 ? strprintf("%+.1f%%", gain) : std::string("-")});
+        return r.throughput_gbps;
+    };
+
+    TablePrinter t;
+    t.header({"Configuration", "Throughput(Gbps)", "Median lat(us)",
+              "vs baseline"});
+
+    PipelineOpts baseline = opts_vanilla();
+    PipelineOpts lto_only = baseline;
+    lto_only.lto = true;
+    PipelineOpts lto_reorder = opts_lto_reorder();
+
+    const double base = run("Baseline (no LTO)", baseline, t, 0);
+    run("LTO", lto_only, t, base);
+    run("LTO + reordered Packet", lto_reorder, t, base);
+
+    t.print("Sec. 4.1: LTO and Packet-class reordering, router @ 3 GHz");
+
+    // Show what the pass actually did.
+    SimMemory mem;
+    std::string err;
+    auto pipe = Pipeline::build(config, mem, lto_reorder, &err);
+    if (pipe) {
+        MillReport rep = PacketMill::analyze(*pipe, true);
+        std::printf("\n%s", rep.to_string().c_str());
+    }
+    std::printf("\nPaper reference: LTO + reordering adds up to 5.4 Gbps "
+                "(6.8%%) and cuts ~13 us median latency; reordering is "
+                "about one third of the gain.\n");
+    return 0;
+}

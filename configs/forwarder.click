@@ -1,0 +1,5 @@
+// Simple forwarder (paper §A.1): receive, swap Ethernet addresses,
+// transmit.
+input  :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> EtherMirror -> output;

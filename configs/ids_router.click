@@ -1,0 +1,15 @@
+// Router + IDS + VLAN supplement (paper §A.3): TCP/UDP/ICMP header
+// correctness checks, then 802.1Q encapsulation.
+input  :: FromDPDKDevice(PORT 0, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+class  :: Classifier(ARP, IP);
+rt     :: IPLookup(20.0.0.0/8 0, 21.0.0.0/8 0, 22.0.0.0/8 0,
+                   23.0.0.0/8 0, 10.0.0.0/8 0, 0.0.0.0/0 0);
+input -> class;
+class [0] -> ARPResponder(10.0.0.1, 02:00:00:00:00:10) -> output;
+class [1] -> CheckIPHeader -> rt;
+rt -> DecIPTTL
+   -> IdsCheck
+   -> VLANEncap(VLAN_ID 42)
+   -> EtherRewrite(SRC 02:00:00:00:00:10, DST 02:00:00:00:00:20)
+   -> output;

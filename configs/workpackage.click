@@ -1,0 +1,5 @@
+// Synthetic memory/compute NF (paper §A.4): N random accesses into an
+// S-MiB region plus W PRNG rounds per packet, then forward.
+input  :: FromDPDKDevice(PORT 0, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> WorkPackage(S 4, N 1, W 4) -> EtherMirror -> output;

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * pmill_run — the command-line front end: run any Click configuration
+ * file on the simulated 100-Gbps testbed, FastClick-style.
+ *
+ *   example_pmill_run configs/router.click
+ *   example_pmill_run configs/nat.click --opt packetmill --cores 4
+ *   example_pmill_run configs/forwarder.click --model xchange \
+ *       --freq 1.2 --offered 60 --size 64
+ *   example_pmill_run configs/router.click --opt all --verify
+ *
+ * Options:
+ *   --opt vanilla|devirt|constants|static|all|packetmill|lto-reorder
+ *   --model copying|overlaying|xchange      (metadata model override)
+ *   --freq GHZ          core frequency (default 2.3)
+ *   --offered GBPS      offered load (default 100)
+ *   --cores N           RSS cores (default 1)
+ *   --nics N            NICs polled by core 0 (default 1)
+ *   --size BYTES        fixed-size traffic instead of the campus trace
+ *   --duration US       measured interval (default 2500)
+ *   --verify            check equivalence against the vanilla build
+ *   --report            print the PacketMill optimization report
+ *   --json              emit the results as a JSON object
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/pmill.hh"
+
+using namespace pmill;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <config.click> [--opt LEVEL] [--model M] "
+                 "[--freq GHZ] [--offered GBPS] [--cores N] [--nics N] "
+                 "[--size BYTES] [--duration US] [--verify] [--report] "
+                 "[--json]\n",
+                 argv0);
+    std::exit(2);
+}
+
+bool
+pick_opts(const std::string &name, PipelineOpts *out)
+{
+    if (name == "vanilla")
+        *out = opts_vanilla();
+    else if (name == "devirt")
+        *out = opts_devirtualize();
+    else if (name == "constants")
+        *out = opts_constants();
+    else if (name == "static")
+        *out = opts_static_graph();
+    else if (name == "all")
+        *out = opts_source_all();
+    else if (name == "packetmill")
+        *out = opts_packetmill();
+    else if (name == "lto-reorder")
+        *out = opts_lto_reorder();
+    else
+        return false;
+    return true;
+}
+
+bool
+pick_model(const std::string &name, MetadataModel *out)
+{
+    if (name == "copying")
+        *out = MetadataModel::kCopying;
+    else if (name == "overlaying")
+        *out = MetadataModel::kOverlaying;
+    else if (name == "xchange")
+        *out = MetadataModel::kXchange;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+
+    const std::string config_path = argv[1];
+    PipelineOpts opts = opts_vanilla();
+    double freq = 2.3, offered = 100.0, duration_us = 2500.0;
+    std::uint32_t cores = 1, nics = 1, fixed_size = 0;
+    bool do_verify = false, do_report = false, do_json = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (a == "--opt") {
+            if (!pick_opts(next(), &opts))
+                usage(argv[0]);
+        } else if (a == "--model") {
+            MetadataModel m;
+            if (!pick_model(next(), &m))
+                usage(argv[0]);
+            opts.model = m;
+        } else if (a == "--freq") {
+            freq = std::atof(next());
+        } else if (a == "--offered") {
+            offered = std::atof(next());
+        } else if (a == "--cores") {
+            cores = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--nics") {
+            nics = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--size") {
+            fixed_size = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--duration") {
+            duration_us = std::atof(next());
+        } else if (a == "--verify") {
+            do_verify = true;
+        } else if (a == "--report") {
+            do_report = true;
+        } else if (a == "--json") {
+            do_json = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    std::ifstream in(config_path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", config_path.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string config = ss.str();
+
+    const Trace trace = fixed_size
+                            ? make_fixed_size_trace(fixed_size, 2048, 512)
+                            : default_campus_trace();
+
+    MachineConfig machine;
+    machine.freq_ghz = freq;
+    machine.num_cores = cores;
+    machine.num_nics = nics;
+
+    Engine engine(machine, config, opts, trace);
+    MillReport mill_report = PacketMill::grind(engine);
+    if (do_report)
+        std::printf("%s\n", mill_report.to_string().c_str());
+
+    RunConfig rc;
+    rc.offered_gbps = offered;
+    rc.warmup_us = 1000;
+    rc.duration_us = duration_us;
+    RunResult r = engine.run(rc);
+
+    if (do_json) {
+        std::printf(
+            "{\n"
+            "  \"config\": \"%s\",\n"
+            "  \"model\": \"%s\",\n"
+            "  \"freq_ghz\": %.2f,\n"
+            "  \"cores\": %u,\n"
+            "  \"nics\": %u,\n"
+            "  \"offered_gbps\": %.2f,\n"
+            "  \"throughput_gbps\": %.3f,\n"
+            "  \"goodput_gbps\": %.3f,\n"
+            "  \"mpps\": %.3f,\n"
+            "  \"latency_us\": {\"mean\": %.3f, \"median\": %.3f, "
+            "\"p99\": %.3f},\n"
+            "  \"rx_drops\": %llu,\n"
+            "  \"llc_kloads_per_100ms\": %.1f,\n"
+            "  \"llc_kmisses_per_100ms\": %.2f,\n"
+            "  \"ipc\": %.3f\n"
+            "}\n",
+            config_path.c_str(), metadata_model_name(opts.model), freq,
+            cores, nics, offered, r.throughput_gbps, r.goodput_gbps,
+            r.mpps, r.mean_latency_us, r.median_latency_us,
+            r.p99_latency_us, static_cast<unsigned long long>(r.rx_drops),
+            r.llc_kloads_per_100ms, r.llc_kmisses_per_100ms, r.ipc);
+        return 0;
+    }
+
+    std::printf("config:     %s\n", config_path.c_str());
+    std::printf("model:      %s%s\n", metadata_model_name(opts.model),
+                opts.static_graph ? " + static graph" : "");
+    std::printf("machine:    %u core(s) @ %.1f GHz, %u NIC(s)\n", cores,
+                freq, nics);
+    std::printf("offered:    %.1f Gbps (%s traffic)\n", offered,
+                fixed_size ? "fixed-size" : "campus-like");
+    std::printf("throughput: %.2f Gbps wire / %.2f Gbps goodput "
+                "(%.2f Mpps)\n",
+                r.throughput_gbps, r.goodput_gbps, r.mpps);
+    std::printf("latency:    mean %.2f / median %.2f / p99 %.2f us\n",
+                r.mean_latency_us, r.median_latency_us, r.p99_latency_us);
+    std::printf("drops:      %llu\n",
+                static_cast<unsigned long long>(r.rx_drops));
+    std::printf("llc:        %.0f kilo-loads, %.1f kilo-misses per "
+                "100 ms; IPC %.2f\n",
+                r.llc_kloads_per_100ms, r.llc_kmisses_per_100ms, r.ipc);
+
+    if (do_verify) {
+        std::printf("\nverifying against the vanilla build...\n");
+        EquivalenceReport vr = verify_equivalence(config, opts_vanilla(),
+                                                  opts, trace, 600.0);
+        std::printf("%s\n", vr.to_string().c_str());
+        return vr.equivalent ? 0 : 1;
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+#include "src/common/histogram.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+
+namespace pmill {
+
+Histogram::Histogram(double max_value, std::size_t num_bins)
+    : max_value_(max_value),
+      bin_width_(max_value / static_cast<double>(num_bins)),
+      bins_(num_bins, 0)
+{
+    PMILL_ASSERT(max_value > 0.0 && num_bins > 0,
+                 "histogram range/bins must be positive");
+}
+
+void
+Histogram::record(double value)
+{
+    ++count_;
+    sum_ += value;
+    max_seen_ = std::max(max_seen_, value);
+    if (value < 0.0)
+        value = 0.0;
+    if (value >= max_value_) {
+        ++overflow_;
+        return;
+    }
+    ++bins_[static_cast<std::size_t>(value / bin_width_)];
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Index of the sample at the requested quantile (1-based rank).
+    const double rank = q * static_cast<double>(count_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        const double next = cum + static_cast<double>(bins_[i]);
+        if (next >= rank && bins_[i] > 0) {
+            const double frac = (rank - cum) / static_cast<double>(bins_[i]);
+            return (static_cast<double>(i) + frac) * bin_width_;
+        }
+        cum = next;
+    }
+    // Quantile falls in the overflow bucket: report the observed max.
+    return max_seen_;
+}
+
+void
+Histogram::clear()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    max_seen_ = 0.0;
+}
+
+} // namespace pmill

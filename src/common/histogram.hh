@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Latency histogram with percentile queries.
+ */
+
+#ifndef PMILL_COMMON_HISTOGRAM_HH
+#define PMILL_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pmill {
+
+/**
+ * Fixed-resolution histogram over a bounded range, used to record
+ * per-packet latencies without storing every sample.
+ *
+ * Samples above the range accumulate in an overflow bucket that is
+ * treated as the maximum value for percentile queries (conservative).
+ */
+class Histogram {
+  public:
+    /**
+     * @param max_value Upper bound of the measured range (exclusive).
+     * @param num_bins Number of equal-width bins across [0, max_value).
+     */
+    Histogram(double max_value, std::size_t num_bins);
+
+    /** Record one sample. */
+    void record(double value);
+
+    /** Number of recorded samples (including overflow). */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all recorded samples. */
+    double sum() const { return sum_; }
+
+    /** Mean of recorded samples; 0 if empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Largest recorded sample; 0 if empty. */
+    double max() const { return max_seen_; }
+
+    /**
+     * Value at quantile @p q in [0, 1] (e.g.\ 0.5 = median, 0.99 = p99),
+     * linearly interpolated within the containing bin. Returns 0 when
+     * the histogram is empty.
+     */
+    double percentile(double q) const;
+
+    /** Reset to the empty state. */
+    void clear();
+
+  private:
+    double max_value_;
+    double bin_width_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_seen_ = 0.0;
+};
+
+} // namespace pmill
+
+#endif // PMILL_COMMON_HISTOGRAM_HH

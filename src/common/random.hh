@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be reproducible run-to-run, so all stochastic
+ * behaviour (traffic generation, heap scatter, WorkPackage accesses)
+ * draws from explicitly seeded generators rather than global state.
+ */
+
+#ifndef PMILL_COMMON_RANDOM_HH
+#define PMILL_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace pmill {
+
+/**
+ * xorshift64* generator: tiny state, good quality, very fast.
+ *
+ * This is also the generator the WorkPackage element "executes" when it
+ * emulates CPU-bound work, mirroring FastClick's use of a cheap PRNG.
+ */
+class Xorshift64 {
+  public:
+    /** Construct with a nonzero seed (0 is remapped internally). */
+    explicit Xorshift64(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state_(seed ? seed : 0x9E3779B97F4A7C15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    next_below(std::uint64_t bound)
+    {
+        // Multiply-shift range reduction; bias is negligible for our use.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    next_double()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Reseed the generator. */
+    void
+    seed(std::uint64_t s)
+    {
+        state_ = s ? s : 0x9E3779B97F4A7C15ull;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace pmill
+
+#endif // PMILL_COMMON_RANDOM_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fixed-capacity single-producer/single-consumer ring buffer.
+ *
+ * Used for NIC descriptor rings, mempool free-lists, and software
+ * queues. Capacity must be a power of two so index wrapping is a mask.
+ */
+
+#ifndef PMILL_COMMON_RING_HH
+#define PMILL_COMMON_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/log.hh"
+#include "src/common/types.hh"
+
+namespace pmill {
+
+/**
+ * Bounded FIFO ring of trivially copyable elements.
+ *
+ * This is the *functional* container; the cache behaviour of hardware
+ * rings is modeled separately by accounting accesses to the ring's
+ * simulated address range.
+ */
+template <typename T>
+class Ring {
+  public:
+    /** @param capacity Power-of-two maximum number of elements. */
+    explicit Ring(std::size_t capacity)
+        : slots_(capacity), mask_(capacity - 1)
+    {
+        PMILL_ASSERT(is_pow2(capacity), "ring capacity must be power of 2");
+    }
+
+    /** Number of enqueued elements. */
+    std::size_t size() const { return head_ - tail_; }
+
+    /** True when no elements are enqueued. */
+    bool empty() const { return head_ == tail_; }
+
+    /** True when no free slots remain. */
+    bool full() const { return size() == slots_.size(); }
+
+    /** Maximum number of elements. */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Free slots remaining. */
+    std::size_t space() const { return slots_.size() - size(); }
+
+    /**
+     * Enqueue @p v.
+     * @return false when the ring is full (element dropped).
+     */
+    bool
+    push(const T &v)
+    {
+        if (full())
+            return false;
+        slots_[head_ & mask_] = v;
+        ++head_;
+        return true;
+    }
+
+    /**
+     * Dequeue into @p out.
+     * @return false when the ring is empty.
+     */
+    bool
+    pop(T &out)
+    {
+        if (empty())
+            return false;
+        out = slots_[tail_ & mask_];
+        ++tail_;
+        return true;
+    }
+
+    /** Peek at the oldest element without removing it (ring nonempty). */
+    const T &
+    front() const
+    {
+        PMILL_ASSERT(!empty(), "front() on empty ring");
+        return slots_[tail_ & mask_];
+    }
+
+    /** Drop all contents. */
+    void
+    clear()
+    {
+        head_ = tail_ = 0;
+    }
+
+    /**
+     * Index of the slot the next push would occupy; used to account a
+     * memory access to the correct descriptor address.
+     */
+    std::size_t next_push_slot() const { return head_ & mask_; }
+
+    /** Index of the slot the next pop reads from. */
+    std::size_t next_pop_slot() const { return tail_ & mask_; }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+};
+
+} // namespace pmill
+
+#endif // PMILL_COMMON_RING_HH

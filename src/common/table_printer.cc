@@ -1,0 +1,62 @@
+#include "src/common/table_printer.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pmill {
+
+void
+TablePrinter::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TablePrinter::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(const std::string &title) const
+{
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+    if (cols == 0)
+        return;
+
+    std::vector<std::size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    if (!title.empty())
+        std::printf("\n== %s ==\n", title.c_str());
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string &cell = i < r.size() ? r[i] : std::string();
+            std::printf("%-*s%s", static_cast<int>(width[i]), cell.c_str(),
+                        i + 1 == cols ? "" : "  ");
+        }
+        std::printf("\n");
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < cols; ++i)
+            total += width[i] + (i + 1 == cols ? 0 : 2);
+        std::printf("%s\n", std::string(total, '-').c_str());
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    std::fflush(stdout);
+}
+
+} // namespace pmill

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Aligned console table output for the benchmark harness, so each
+ * bench binary can print the rows/series the paper's tables and
+ * figures report.
+ */
+
+#ifndef PMILL_COMMON_TABLE_PRINTER_HH
+#define PMILL_COMMON_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace pmill {
+
+/**
+ * Collects rows of string cells and prints them with aligned columns.
+ */
+class TablePrinter {
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table to stdout, with an optional title line. */
+    void print(const std::string &title = "") const;
+
+    /** Number of data rows added so far. */
+    std::size_t num_rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pmill
+
+#endif // PMILL_COMMON_TABLE_PRINTER_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental type aliases and machine constants shared across the
+ * simulator.
+ */
+
+#ifndef PMILL_COMMON_TYPES_HH
+#define PMILL_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pmill {
+
+/** A simulated physical address. */
+using Addr = std::uint64_t;
+
+/** Simulated time in nanoseconds (double to allow sub-ns accumulation). */
+using TimeNs = double;
+
+/** A count of processor core cycles. */
+using Cycles = double;
+
+/** Cache-line size of the simulated machine (and, in practice, the host). */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/** Page size used by the simulated TLB model. */
+inline constexpr std::size_t kPageBytes = 4096;
+
+/** Round @p v up to the next multiple of @p align (power of two). */
+constexpr std::uint64_t
+round_up(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+is_pow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2_exact(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Cache line index containing simulated address @p a. */
+constexpr std::uint64_t
+line_of(Addr a)
+{
+    return a / kCacheLineBytes;
+}
+
+/** Page index containing simulated address @p a. */
+constexpr std::uint64_t
+page_of(Addr a)
+{
+    return a / kPageBytes;
+}
+
+} // namespace pmill
+
+#endif // PMILL_COMMON_TYPES_HH

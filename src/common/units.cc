@@ -1,0 +1,31 @@
+#include "src/common/units.hh"
+
+#include "src/common/log.hh"
+
+namespace pmill {
+
+std::string
+format_gbps(double bits_per_sec)
+{
+    return strprintf("%.2f Gbps", bits_per_sec / kGiga);
+}
+
+std::string
+format_mpps(double pkts_per_sec)
+{
+    return strprintf("%.2f Mpps", pkts_per_sec / kMega);
+}
+
+std::string
+format_bytes(std::uint64_t bytes)
+{
+    if (bytes >= kMiB && bytes % kMiB == 0)
+        return strprintf("%llu MiB",
+                         static_cast<unsigned long long>(bytes / kMiB));
+    if (bytes >= kKiB && bytes % kKiB == 0)
+        return strprintf("%llu KiB",
+                         static_cast<unsigned long long>(bytes / kKiB));
+    return strprintf("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+} // namespace pmill

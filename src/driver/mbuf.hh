@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DPDK-style packet buffer ("mbuf") layout.
+ *
+ * Each mempool element mirrors the rte_mbuf memory layout the paper
+ * describes (§2.2): a 128-B (two cache line) metadata struct, a
+ * fixed headroom for prepending headers, and the data room the NIC
+ * DMAs frames into. An extra annotation area sits between the struct
+ * and the headroom so the Overlaying model (BESS/FastClick-light
+ * style) can place application annotations directly after the DPDK
+ * metadata.
+ *
+ *   [ RteMbuf 128 B ][ anno 64 B ][ headroom 128 B ][ data room 2048 B ]
+ */
+
+#ifndef PMILL_DRIVER_MBUF_HH
+#define PMILL_DRIVER_MBUF_HH
+
+#include <cstdint>
+
+#include "src/common/types.hh"
+
+namespace pmill {
+
+/** Fixed sizes of one mempool element (see file comment). */
+inline constexpr std::uint32_t kMbufStructBytes = 128;
+inline constexpr std::uint32_t kMbufAnnoBytes = 64;
+inline constexpr std::uint32_t kMbufHeadroomBytes = 128;
+inline constexpr std::uint32_t kMbufDataRoomBytes = 2048;
+inline constexpr std::uint32_t kMbufElementBytes =
+    kMbufStructBytes + kMbufAnnoBytes + kMbufHeadroomBytes +
+    kMbufDataRoomBytes;
+
+/** Offset of the headroom start within an element. */
+inline constexpr std::uint32_t kMbufBufOffset =
+    kMbufStructBytes + kMbufAnnoBytes;
+
+/**
+ * The generic DPDK metadata struct. Field selection follows
+ * rte_mbuf's first ("RX") cache line plus the second line's
+ * pkt-length fields; the struct must stay within two cache lines,
+ * like the original.
+ */
+struct RteMbuf {
+    // ---- first cache line: filled by the PMD on RX ----
+    Addr buf_addr = 0;            ///< sim address of headroom start
+    std::uint8_t *buf_host = nullptr;  ///< host backing of buf_addr
+    std::uint16_t data_off = 0;   ///< frame start within the buffer
+    std::uint16_t refcnt = 1;
+    std::uint16_t nb_segs = 1;
+    std::uint16_t port = 0;
+    std::uint64_t ol_flags = 0;
+    std::uint32_t pkt_len = 0;
+    std::uint16_t data_len = 0;
+    std::uint16_t vlan_tci = 0;
+    std::uint32_t rss_hash = 0;
+    std::uint32_t packet_type = 0;
+
+    // ---- second cache line: pool bookkeeping / timestamps ----
+    TimeNs timestamp = 0;         ///< arrival timestamp (HW timestamping)
+    std::uint64_t pool_elem = 0;  ///< element index within its mempool
+
+    /** Sim address of the current frame start. */
+    Addr frame_addr() const { return buf_addr + data_off; }
+
+    /** Host pointer to the current frame start. */
+    std::uint8_t *frame_host() const { return buf_host + data_off; }
+};
+static_assert(sizeof(RteMbuf) <= kMbufStructBytes,
+              "RteMbuf must fit in two cache lines");
+
+/** Handle to an mbuf: its sim address plus the live host struct. */
+struct MbufRef {
+    Addr addr = 0;           ///< sim address of the RteMbuf struct
+    RteMbuf *m = nullptr;    ///< host view (lives in SimMemory backing)
+
+    explicit operator bool() const { return m != nullptr; }
+};
+
+} // namespace pmill
+
+#endif // PMILL_DRIVER_MBUF_HH

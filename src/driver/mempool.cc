@@ -1,0 +1,75 @@
+#include "src/driver/mempool.hh"
+
+#include "src/common/log.hh"
+
+namespace pmill {
+
+Mempool::Mempool(SimMemory &mem, std::uint32_t num_elements)
+    : num_elements_(num_elements)
+{
+    PMILL_ASSERT(is_pow2(num_elements), "pool size must be a power of two");
+    storage_ = mem.alloc(std::uint64_t(num_elements) * kMbufElementBytes,
+                         kCacheLineBytes, Region::kMbufPool);
+    cache_mem_ = mem.alloc(kCacheLineBytes, kCacheLineBytes,
+                           Region::kMbufPool);
+    free_stack_.reserve(num_elements);
+    for (std::uint32_t i = 0; i < num_elements; ++i) {
+        RteMbuf *m = elem_host(i);
+        *m = RteMbuf{};
+        m->buf_addr = elem_addr(i) + kMbufBufOffset;
+        m->buf_host = storage_.host + std::uint64_t(i) * kMbufElementBytes +
+                      kMbufBufOffset;
+        m->data_off = kMbufHeadroomBytes;
+        m->pool_elem = i;
+        free_stack_.push_back(i);
+    }
+}
+
+MbufRef
+Mempool::alloc(AccessSink *sink)
+{
+    if (free_stack_.empty())
+        return MbufRef{};
+    // The per-lcore cache head: alloc/free traffic stays in this hot
+    // line; the backing ring is only touched on (rare) bulk spills,
+    // so the cache model sees no pool-bookkeeping misses — matching
+    // rte_mempool with its default cache.
+    sink_load(sink, cache_mem_.addr, 8);
+    const std::uint32_t idx = free_stack_.back();
+    free_stack_.pop_back();
+
+    RteMbuf *m = elem_host(idx);
+    // Reset to a pristine RX-ready state (rte_pktmbuf_reset).
+    m->data_off = kMbufHeadroomBytes;
+    m->refcnt = 1;
+    m->nb_segs = 1;
+    m->ol_flags = 0;
+    m->pkt_len = 0;
+    m->data_len = 0;
+    sink_store(sink, elem_addr(idx), 32);
+    return ref(idx);
+}
+
+MbufRef
+Mempool::owner_of(Addr a) const
+{
+    PMILL_ASSERT(a >= storage_.addr && a < storage_.addr + storage_.size,
+                 "address outside this mempool");
+    const std::uint32_t idx = static_cast<std::uint32_t>(
+        (a - storage_.addr) / kMbufElementBytes);
+    return ref(idx);
+}
+
+void
+Mempool::free(const MbufRef &ref, AccessSink *sink)
+{
+    PMILL_ASSERT(ref.m != nullptr, "freeing a null mbuf");
+    const std::uint32_t idx = static_cast<std::uint32_t>(ref.m->pool_elem);
+    PMILL_ASSERT(idx < num_elements_, "mbuf does not belong to this pool");
+    sink_store(sink, cache_mem_.addr, 8);
+    PMILL_ASSERT(free_stack_.size() < num_elements_,
+                 "double free: pool overflow");
+    free_stack_.push_back(idx);
+}
+
+} // namespace pmill

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fixed-size packet-buffer pool, modeled after rte_mempool backed by
+ * an rte_ring.
+ *
+ * Allocation order is LIFO, modeling rte_mempool's per-lcore cache:
+ * the most recently freed element is reused first, so the circulating
+ * working set is roughly the in-flight set (RX ring + TX backlog)
+ * rather than the whole pool. The paper's cold-metadata effect stems
+ * from the RX descriptor ring itself: a replenished buffer is not
+ * written by the NIC until the ring wraps, so its metadata lines have
+ * left the private caches by the time the PMD fills them again.
+ */
+
+#ifndef PMILL_DRIVER_MEMPOOL_HH
+#define PMILL_DRIVER_MEMPOOL_HH
+
+#include <cstdint>
+
+#include <vector>
+
+#include "src/driver/mbuf.hh"
+#include "src/mem/access_sink.hh"
+#include "src/mem/sim_memory.hh"
+
+namespace pmill {
+
+/** Pool of kMbufElementBytes elements in simulated memory. */
+class Mempool {
+  public:
+    /**
+     * @param mem Simulated memory to carve the pool from.
+     * @param num_elements Power-of-two element count.
+     */
+    Mempool(SimMemory &mem, std::uint32_t num_elements);
+
+    /**
+     * Allocate one mbuf; accounts the free-ring load and the struct
+     * initialization store to @p sink.
+     * @return empty ref when the pool is exhausted.
+     */
+    MbufRef alloc(AccessSink *sink);
+
+    /** Return an mbuf to the pool; accounts the free-ring store. */
+    void free(const MbufRef &ref, AccessSink *sink);
+
+    /** Number of currently free elements. */
+    std::size_t free_count() const { return free_stack_.size(); }
+
+    /** Total elements in the pool. */
+    std::uint32_t capacity() const { return num_elements_; }
+
+    /** Sim address of element @p i 's RteMbuf struct. */
+    Addr
+    elem_addr(std::uint32_t i) const
+    {
+        return storage_.addr + std::uint64_t(i) * kMbufElementBytes;
+    }
+
+    /** Host view of element @p i 's RteMbuf struct. */
+    RteMbuf *
+    elem_host(std::uint32_t i) const
+    {
+        return reinterpret_cast<RteMbuf *>(
+            storage_.host + std::uint64_t(i) * kMbufElementBytes);
+    }
+
+    /** Ref for element @p i (does not change free/used state). */
+    MbufRef
+    ref(std::uint32_t i) const
+    {
+        return MbufRef{elem_addr(i), elem_host(i)};
+    }
+
+    /**
+     * Map any sim address inside an element (e.g.\ a frame address
+     * with a shifted data offset) back to its owning mbuf.
+     */
+    MbufRef owner_of(Addr a) const;
+
+  private:
+    MemHandle storage_;
+    MemHandle cache_mem_;  ///< hot per-lcore cache head line
+    std::vector<std::uint32_t> free_stack_;
+    std::uint32_t num_elements_;
+};
+
+} // namespace pmill
+
+#endif // PMILL_DRIVER_MEMPOOL_HH

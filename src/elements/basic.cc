@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Basic elements: device endpoints, Ethernet manipulation,
+ * classification, ARP, counting, discarding, queuing.
+ */
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/log.hh"
+#include "src/elements/args.hh"
+#include "src/elements/elements.hh"
+#include "src/framework/config_parser.hh"
+#include "src/net/byteorder.hh"
+#include "src/net/packet_builder.hh"
+
+namespace pmill {
+
+bool
+FromDPDKDevice::configure(const std::vector<std::string> &args,
+                          std::string *err)
+{
+    for (const auto &[kw, val] : parse_keywords(args)) {
+        std::uint64_t v = 0;
+        if (!parse_uint(val, &v)) {
+            if (err)
+                *err = "FromDPDKDevice: bad value '" + val + "'";
+            return false;
+        }
+        if (kw == "PORT") {
+            port_ = static_cast<std::uint32_t>(v);
+        } else if (kw == "BURST") {
+            if (v == 0 || v > kMaxBurst) {
+                if (err)
+                    *err = "FromDPDKDevice: BURST out of range";
+                return false;
+            }
+            burst_ = static_cast<std::uint32_t>(v);
+        } else if (kw == "N_QUEUES") {
+            n_queues_ = static_cast<std::uint32_t>(v);
+        } else if (err) {
+            *err = "FromDPDKDevice: unknown keyword " + kw;
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+ToDPDKDevice::configure(const std::vector<std::string> &args,
+                        std::string *err)
+{
+    for (const auto &[kw, val] : parse_keywords(args)) {
+        std::uint64_t v = 0;
+        if (!parse_uint(val, &v)) {
+            if (err)
+                *err = "ToDPDKDevice: bad value '" + val + "'";
+            return false;
+        }
+        if (kw == "PORT")
+            port_ = static_cast<std::uint32_t>(v);
+        else if (kw == "BURST")
+            burst_ = static_cast<std::uint32_t>(v);
+        else if (err) {
+            *err = "ToDPDKDevice: unknown keyword " + kw;
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+ToDPDKDevice::process(PacketBatch &batch, ExecContext &)
+{
+    // Stamp the egress device; the engine's datapath transmits.
+    for (std::uint32_t i = 0; i < batch.count; ++i)
+        batch[i].out_port = static_cast<std::uint8_t>(port_);
+}
+
+void
+EtherMirror::process(PacketBatch &batch, ExecContext &ctx)
+{
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+        PacketHandle &h = batch[i];
+        PacketView v = view(h, ctx);
+        (void)v.read(Field::kDataAddr);
+
+        ctx.load(h.data_addr, 12);
+        auto *eth = reinterpret_cast<EtherHeader *>(h.data);
+        std::swap(eth->src, eth->dst);
+        ctx.store(h.data_addr, 12);
+        ctx.on_compute(4, 10);
+    }
+}
+
+void
+EtherMirror::access_profile(std::vector<Field> &reads,
+                            std::vector<Field> &) const
+{
+    reads.push_back(Field::kDataAddr);
+}
+
+bool
+EtherRewrite::configure(const std::vector<std::string> &args,
+                        std::string *err)
+{
+    for (const auto &[kw, val] : parse_keywords(args)) {
+        MacAddr m;
+        if (!parse_mac(val, &m)) {
+            if (err)
+                *err = "EtherRewrite: bad MAC '" + val + "'";
+            return false;
+        }
+        if (kw == "SRC") {
+            src_ = m;
+        } else if (kw == "DST") {
+            dst_ = m;
+        } else if (err) {
+            *err = "EtherRewrite: expected SRC/DST";
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+EtherRewrite::process(PacketBatch &batch, ExecContext &ctx)
+{
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+        PacketHandle &h = batch[i];
+        PacketView v = view(h, ctx);
+        (void)v.read(Field::kDataAddr);
+        ctx.param_load(state_, 0);  // SRC
+        ctx.param_load(state_, 1);  // DST
+
+        auto *eth = reinterpret_cast<EtherHeader *>(h.data);
+        eth->src = src_;
+        eth->dst = dst_;
+        ctx.store(h.data_addr, 12);
+        ctx.on_compute(3, 8);
+    }
+}
+
+void
+EtherRewrite::access_profile(std::vector<Field> &reads,
+                             std::vector<Field> &) const
+{
+    reads.push_back(Field::kDataAddr);
+}
+
+bool
+Classifier::configure(const std::vector<std::string> &args,
+                      std::string *err)
+{
+    patterns_.clear();
+    for (const auto &a : args) {
+        if (a == "ARP") {
+            patterns_.push_back(Pattern::kArp);
+        } else if (a == "IP") {
+            patterns_.push_back(Pattern::kIp);
+        } else if (a == "-") {
+            patterns_.push_back(Pattern::kAny);
+        } else if (err) {
+            *err = "Classifier: unknown pattern '" + a + "'";
+            return false;
+        }
+    }
+    if (patterns_.empty()) {
+        if (err)
+            *err = "Classifier needs at least one pattern";
+        return false;
+    }
+    order_.clear();
+    for (std::uint32_t i = 0; i < patterns_.size(); ++i)
+        order_.push_back(i);
+    hits_.assign(patterns_.size(), 0);
+    return true;
+}
+
+void
+Classifier::reset_hits()
+{
+    hits_.assign(patterns_.size(), 0);
+}
+
+void
+Classifier::specialize_match_order()
+{
+    std::stable_sort(order_.begin(), order_.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         return hits_[a] > hits_[b];
+                     });
+}
+
+void
+Classifier::process(PacketBatch &batch, ExecContext &ctx)
+{
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+        PacketHandle &h = batch[i];
+        PacketView v = view(h, ctx);
+        (void)v.read(Field::kDataAddr);
+
+        ctx.load(h.data_addr + 12, 2);  // EtherType
+        const auto *eth = reinterpret_cast<const EtherHeader *>(h.data);
+        const std::uint16_t type = eth->ether_type();
+
+        // Patterns are tried in match order; each comparison costs a
+        // cycle, so a profile-hot first pattern is cheaper on average.
+        h.dropped = true;
+        std::size_t tried = 0;
+        for (std::uint32_t p : order_) {
+            ++tried;
+            const bool match =
+                (patterns_[p] == Pattern::kAny) ||
+                (patterns_[p] == Pattern::kArp && type == kEtherTypeArp) ||
+                (patterns_[p] == Pattern::kIp && type == kEtherTypeIpv4);
+            if (match) {
+                h.out_port = static_cast<std::uint8_t>(p);
+                h.dropped = false;
+                ++hits_[p];
+                break;
+            }
+        }
+        ctx.on_compute(3.0 + 1.0 * static_cast<double>(tried),
+                       4.0 + 2.0 * static_cast<double>(tried));
+    }
+}
+
+void
+Classifier::access_profile(std::vector<Field> &reads,
+                           std::vector<Field> &) const
+{
+    reads.push_back(Field::kDataAddr);
+}
+
+bool
+ARPResponder::configure(const std::vector<std::string> &args,
+                        std::string *err)
+{
+    for (const auto &a : args) {
+        Ipv4Addr ip;
+        MacAddr m;
+        if (parse_ipv4(a, &ip)) {
+            ip_ = ip;
+        } else if (parse_mac(a, &m)) {
+            mac_ = m;
+        } else if (err) {
+            *err = "ARPResponder: bad argument '" + a + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+ARPResponder::process(PacketBatch &batch, ExecContext &ctx)
+{
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+        PacketHandle &h = batch[i];
+        PacketView v = view(h, ctx);
+        (void)v.read(Field::kDataAddr);
+        ctx.load(h.data_addr, kEtherHeaderLen + sizeof(ArpHeader));
+        ctx.param_load(state_, 0);
+
+        auto *eth = reinterpret_cast<EtherHeader *>(h.data);
+        if (eth->ether_type() != kEtherTypeArp ||
+            h.len < kEtherHeaderLen + sizeof(ArpHeader)) {
+            h.dropped = true;
+            continue;
+        }
+        auto *arp =
+            reinterpret_cast<ArpHeader *>(h.data + kEtherHeaderLen);
+        // Turn the request into a reply in place.
+        arp->oper_be = hton16(2);
+        arp->target_mac = arp->sender_mac;
+        arp->target_ip_be = arp->sender_ip_be;
+        arp->sender_mac = mac_;
+        arp->sender_ip_be = hton32(ip_.value);
+        eth->dst = eth->src;
+        eth->src = mac_;
+        ctx.store(h.data_addr, kEtherHeaderLen + sizeof(ArpHeader));
+        ctx.on_compute(8, 20);
+    }
+}
+
+void
+Counter::process(PacketBatch &batch, ExecContext &ctx)
+{
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+        ++packets_;
+        bytes_ += batch[i].len;
+    }
+    // One counter-line update per batch (amortized in FastClick).
+    ctx.load(state_.addr, 16);
+    ctx.store(state_.addr, 16);
+    ctx.on_compute(2.0 * batch.count, 4.0 * batch.count);
+}
+
+void
+Discard::process(PacketBatch &batch, ExecContext &ctx)
+{
+    for (std::uint32_t i = 0; i < batch.count; ++i)
+        batch[i].dropped = true;
+    ctx.on_compute(1.0 * batch.count, 2.0 * batch.count);
+}
+
+void
+Queue::process(PacketBatch &batch, ExecContext &ctx)
+{
+    // Run-to-completion stand-in: account the enqueue/dequeue stores
+    // against the queue's ring storage; packets pass through.
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+        PacketHandle &h = batch[i];
+        PacketView v = view(h, ctx);
+        v.write(Field::kNextPtr, 0);
+        const std::uint64_t slot = (cursor_++) % (state_.size / 8);
+        ctx.store(state_.addr + slot * 8, 8);
+        ctx.load(state_.addr + slot * 8, 8);
+        ctx.on_compute(4, 10);
+    }
+}
+
+} // namespace pmill

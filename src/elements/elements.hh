@@ -1,0 +1,318 @@
+/**
+ * @file
+ * The standard element library: every element the paper's five NF
+ * configurations use (Appendix A), plus utility elements.
+ *
+ *  - Simple forwarder: FromDPDKDevice -> EtherMirror/EtherRewrite ->
+ *    ToDPDKDevice
+ *  - Router: Classifier -> (ARPResponder | CheckIPHeader -> IPLookup
+ *    -> DecIPTTL -> EtherRewrite) -> ToDPDKDevice
+ *  - IDS (+ VLAN): IdsCheck -> VlanEncap supplements
+ *  - NAT: Napt (stateful NAPT over a cuckoo hash table)
+ *  - WorkPackage: synthetic memory/compute microbenchmark element
+ */
+
+#ifndef PMILL_ELEMENTS_ELEMENTS_HH
+#define PMILL_ELEMENTS_ELEMENTS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/random.hh"
+#include "src/framework/element.hh"
+#include "src/net/headers.hh"
+#include "src/table/cuckoo_hash.hh"
+#include "src/table/lpm.hh"
+
+namespace pmill {
+
+/** RX endpoint marker. Args: PORT n, N_QUEUES n, BURST n. */
+class FromDPDKDevice : public Element {
+  public:
+    const char *class_name() const override { return "FromDPDKDevice"; }
+    bool configure(const std::vector<std::string> &args,
+                   std::string *err) override;
+    void process(PacketBatch &, ExecContext &) override {}
+
+    std::uint32_t port() const { return port_; }
+    std::uint32_t burst() const { return burst_; }
+    std::uint32_t n_queues() const { return n_queues_; }
+
+  private:
+    std::uint32_t port_ = 0;
+    std::uint32_t burst_ = 32;
+    std::uint32_t n_queues_ = 1;
+};
+
+/** TX endpoint marker. Args: PORT n, BURST n. */
+class ToDPDKDevice : public Element {
+  public:
+    const char *class_name() const override { return "ToDPDKDevice"; }
+    bool configure(const std::vector<std::string> &args,
+                   std::string *err) override;
+    void process(PacketBatch &, ExecContext &) override;
+
+    std::uint32_t port() const { return port_; }
+
+  private:
+    std::uint32_t port_ = 0;
+    std::uint32_t burst_ = 32;
+};
+
+/** Swap source and destination Ethernet addresses. */
+class EtherMirror : public Element {
+  public:
+    const char *class_name() const override { return "EtherMirror"; }
+    void process(PacketBatch &, ExecContext &) override;
+    void access_profile(std::vector<Field> &reads,
+                        std::vector<Field> &writes) const override;
+};
+
+/** Rewrite Ethernet addresses. Args: SRC mac, DST mac. */
+class EtherRewrite : public Element {
+  public:
+    const char *class_name() const override { return "EtherRewrite"; }
+    bool configure(const std::vector<std::string> &args,
+                   std::string *err) override;
+    void process(PacketBatch &, ExecContext &) override;
+    void access_profile(std::vector<Field> &reads,
+                        std::vector<Field> &writes) const override;
+
+  private:
+    MacAddr src_{};
+    MacAddr dst_{};
+};
+
+/**
+ * Pattern classifier (simplified): each positional argument is one
+ * output port's pattern: "ARP", "IP", or "-" (match anything).
+ */
+class Classifier : public Element {
+  public:
+    const char *class_name() const override { return "Classifier"; }
+    bool configure(const std::vector<std::string> &args,
+                   std::string *err) override;
+    void process(PacketBatch &, ExecContext &) override;
+    std::uint32_t
+    num_outputs() const override
+    {
+        return static_cast<std::uint32_t>(patterns_.size());
+    }
+    void access_profile(std::vector<Field> &reads,
+                        std::vector<Field> &writes) const override;
+
+    /// @name Profile-guided specialization (paper §5 FAQ: "Why should
+    /// I use PacketMill instead of PGO?" — PacketMill can be extended
+    /// to exploit profiles). Patterns are matched sequentially; the
+    /// mill reorders the *match order* hot-first from observed hit
+    /// counts, without changing output-port semantics.
+    /// @{
+    const std::vector<std::uint64_t> &hits() const { return hits_; }
+    void reset_hits();
+    /** Re-sort the match order by descending hit count. */
+    void specialize_match_order();
+    /** Current match order (pattern indices, first tried first). */
+    const std::vector<std::uint32_t> &match_order() const
+    {
+        return order_;
+    }
+    /// @}
+
+  private:
+    enum class Pattern { kArp, kIp, kAny };
+    std::vector<Pattern> patterns_;
+    std::vector<std::uint32_t> order_;  ///< match order (indices)
+    std::vector<std::uint64_t> hits_;   ///< per-pattern hit counts
+};
+
+/** Turn ARP requests into replies in place. Args: IP, MAC. */
+class ARPResponder : public Element {
+  public:
+    const char *class_name() const override { return "ARPResponder"; }
+    bool configure(const std::vector<std::string> &args,
+                   std::string *err) override;
+    void process(PacketBatch &, ExecContext &) override;
+
+  private:
+    Ipv4Addr ip_{};
+    MacAddr mac_{};
+};
+
+/** Validate the IPv4 header (RFC 1812 checks + checksum). */
+class CheckIPHeader : public Element {
+  public:
+    const char *class_name() const override { return "CheckIPHeader"; }
+    bool configure(const std::vector<std::string> &,
+                   std::string *) override
+    {
+        return true;  // CheckIPHeader(14) offset arg tolerated/ignored
+    }
+    void process(PacketBatch &, ExecContext &) override;
+    void access_profile(std::vector<Field> &reads,
+                        std::vector<Field> &writes) const override;
+
+    std::uint64_t dropped() const { return dropped_; }
+
+  private:
+    std::uint64_t dropped_ = 0;
+};
+
+/** Decrement TTL with incremental checksum update; drop expired. */
+class DecIPTTL : public Element {
+  public:
+    const char *class_name() const override { return "DecIPTTL"; }
+    void process(PacketBatch &, ExecContext &) override;
+    void access_profile(std::vector<Field> &reads,
+                        std::vector<Field> &writes) const override;
+};
+
+/**
+ * Longest-prefix-match routing over a DIR-24-8 table.
+ * Args: one or more "a.b.c.d/len port" rules.
+ */
+class IPLookup : public Element {
+  public:
+    const char *class_name() const override { return "IPLookup"; }
+    bool configure(const std::vector<std::string> &args,
+                   std::string *err) override;
+    bool initialize(SimMemory &mem, std::string *err) override;
+    void process(PacketBatch &, ExecContext &) override;
+    std::uint32_t num_outputs() const override { return max_port_ + 1; }
+    std::uint32_t state_bytes() const override { return 128; }
+    void access_profile(std::vector<Field> &reads,
+                        std::vector<Field> &writes) const override;
+
+  private:
+    std::vector<Route> routes_;
+    std::unique_ptr<Dir24_8> table_;
+    std::uint32_t max_port_ = 0;
+};
+
+/**
+ * IDS header-correctness checks for TCP/UDP/ICMP (the paper's IDS
+ * supplement, §A.3): length consistency, header sanity; bad packets
+ * are dropped and counted.
+ */
+class IdsCheck : public Element {
+  public:
+    const char *class_name() const override { return "IdsCheck"; }
+    void process(PacketBatch &, ExecContext &) override;
+    void access_profile(std::vector<Field> &reads,
+                        std::vector<Field> &writes) const override;
+
+    std::uint64_t flagged() const { return flagged_; }
+
+  private:
+    std::uint64_t flagged_ = 0;
+};
+
+/** Encapsulate in an 802.1Q VLAN header. Args: VLAN_ID n. */
+class VlanEncap : public Element {
+  public:
+    const char *class_name() const override { return "VLANEncap"; }
+    bool configure(const std::vector<std::string> &args,
+                   std::string *err) override;
+    void process(PacketBatch &, ExecContext &) override;
+    void access_profile(std::vector<Field> &reads,
+                        std::vector<Field> &writes) const override;
+
+  private:
+    std::uint16_t tci_ = 1;
+};
+
+/**
+ * Stateful NAPT rewriting source address/port of outgoing packets,
+ * keyed on the 5-tuple in a cuckoo hash table (DPDK-style, as the
+ * paper's NAT uses). Args: SRCIP a.b.c.d [, CAPACITY n].
+ */
+class Napt : public Element {
+  public:
+    const char *class_name() const override { return "Napt"; }
+    bool configure(const std::vector<std::string> &args,
+                   std::string *err) override;
+    bool initialize(SimMemory &mem, std::string *err) override;
+    void process(PacketBatch &, ExecContext &) override;
+    std::uint32_t state_bytes() const override { return 128; }
+    void access_profile(std::vector<Field> &reads,
+                        std::vector<Field> &writes) const override;
+
+    std::uint64_t active_mappings() const;
+
+  private:
+    Ipv4Addr nat_ip_{};
+    std::uint32_t capacity_ = 65536;
+    std::uint16_t next_port_ = 1024;
+    std::unique_ptr<CuckooHash<FiveTuple, std::uint64_t>> table_;
+};
+
+/**
+ * Synthetic memory-/compute-intensive element (§A.4): per packet,
+ * N pseudo-random reads into an S-MiB scratch region and W rounds of
+ * PRNG work. Args: S mb, N n, W w (keyword or positional S,N,W).
+ */
+class WorkPackage : public Element {
+  public:
+    const char *class_name() const override { return "WorkPackage"; }
+    bool configure(const std::vector<std::string> &args,
+                   std::string *err) override;
+    bool initialize(SimMemory &mem, std::string *err) override;
+    void warm_caches(CacheHierarchy &caches) override;
+    void process(PacketBatch &, ExecContext &) override;
+    std::uint32_t state_bytes() const override { return 128; }
+
+    std::uint64_t checksum() const { return checksum_; }
+
+  private:
+    std::uint32_t s_mb_ = 1;
+    std::uint32_t n_accesses_ = 1;
+    std::uint32_t w_rounds_ = 0;
+    MemHandle scratch_;
+    Xorshift64 rng_{0xACCE55ull};
+    std::uint64_t checksum_ = 0;
+};
+
+/** Count packets and bytes. */
+class Counter : public Element {
+  public:
+    const char *class_name() const override { return "Counter"; }
+    void process(PacketBatch &, ExecContext &) override;
+
+    std::uint64_t packets() const { return packets_; }
+    std::uint64_t bytes() const { return bytes_; }
+
+  private:
+    std::uint64_t packets_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+/** Drop everything. */
+class Discard : public Element {
+  public:
+    const char *class_name() const override { return "Discard"; }
+    void process(PacketBatch &, ExecContext &) override;
+};
+
+/**
+ * Software queue (run-to-completion simplification: accounts the
+ * enqueue/dequeue stores and passes the batch through). Args:
+ * capacity (accepted for config compatibility).
+ */
+class Queue : public Element {
+  public:
+    const char *class_name() const override { return "Queue"; }
+    bool
+    configure(const std::vector<std::string> &, std::string *) override
+    {
+        return true;
+    }
+    void process(PacketBatch &, ExecContext &) override;
+    std::uint32_t state_bytes() const override { return 4096; }
+
+  private:
+    std::uint64_t cursor_ = 0;
+};
+
+} // namespace pmill
+
+#endif // PMILL_ELEMENTS_ELEMENTS_HH

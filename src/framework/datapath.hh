@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Datapaths: the application side of each metadata-management model.
+ *
+ * A Datapath binds a NIC queue to a metadata model, turning received
+ * frames into PacketHandles and transmitting processed batches:
+ *
+ *  - CopyingDatapath  (§2.2 "Copying", FastClick default): standard
+ *    PMD fills generic mbufs; the application allocates a separate
+ *    Packet object per packet from its own pool and copies the useful
+ *    fields — two conversions per direction.
+ *  - OverlayDatapath  (§2.2 "Overlaying", BESS / FastClick-light):
+ *    standard PMD fills mbufs; the application casts the mbuf and
+ *    keeps its annotations in the area following the struct.
+ *  - XchgDatapath     (§3.1 "X-Change"): the X-Change PMD writes
+ *    metadata straight into the application's compact objects and
+ *    exchanges data buffers at the descriptor ring; a burst-sized
+ *    metadata working set stays cache-resident and the mempool is
+ *    bypassed entirely.
+ */
+
+#ifndef PMILL_FRAMEWORK_DATAPATH_HH
+#define PMILL_FRAMEWORK_DATAPATH_HH
+
+#include <memory>
+#include <vector>
+
+#include "src/common/ring.hh"
+#include "src/driver/mempool.hh"
+#include "src/driver/pmd.hh"
+#include "src/driver/xchg.hh"
+#include "src/framework/exec_context.hh"
+#include "src/framework/metadata.hh"
+#include "src/framework/packet.hh"
+#include "src/nic/nic_device.hh"
+
+namespace pmill {
+
+/** Abstract application datapath over one NIC queue. */
+class Datapath {
+  public:
+    virtual ~Datapath() = default;
+
+    /** Post initial RX buffers (call once before the run). */
+    virtual void setup() = 0;
+
+    /**
+     * Receive up to opts.burst packets completed by @p now into
+     * @p batch (handles fully populated).
+     */
+    virtual std::uint32_t rx(TimeNs now, PacketBatch &batch,
+                             ExecContext &ctx) = 0;
+
+    /** Transmit the non-dropped packets of @p batch. */
+    virtual void tx(PacketBatch &batch, TimeNs now, ExecContext &ctx) = 0;
+
+    /** Engine callback: a frame finished on the TX wire. */
+    virtual void on_tx_complete(const TxCompletion &c) = 0;
+
+    /** The metadata layout packets of this datapath use. */
+    virtual const MetadataLayout &layout() const = 0;
+
+    virtual MetadataModel model() const = 0;
+};
+
+/** Sizing knobs shared by the datapath factories. */
+struct DatapathConfig {
+    std::uint32_t burst = 32;
+    std::uint32_t mempool_size = 16384;    ///< mbuf count (Copy/Overlay)
+    std::uint32_t app_pool_size = 4096;    ///< Packet objects (Copying)
+    std::uint32_t xchg_meta_slots = 64;    ///< X-Change metadata objects
+};
+
+/**
+ * Create the datapath for @p model on @p queue of @p nic. @p layout
+ * must outlive the datapath (the caller owns it so the mill can swap
+ * in a reordered one).
+ */
+std::unique_ptr<Datapath> make_datapath(MetadataModel model, NicDevice &nic,
+                                        SimMemory &mem,
+                                        const MetadataLayout &layout,
+                                        std::uint32_t queue,
+                                        const DatapathConfig &cfg);
+
+} // namespace pmill
+
+#endif // PMILL_FRAMEWORK_DATAPATH_HH

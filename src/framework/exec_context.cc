@@ -1,0 +1,16 @@
+#include "src/framework/exec_context.hh"
+
+namespace pmill {
+
+const char *
+metadata_model_name(MetadataModel m)
+{
+    switch (m) {
+      case MetadataModel::kCopying: return "Copying";
+      case MetadataModel::kOverlaying: return "Overlaying";
+      case MetadataModel::kXchange: return "X-Change";
+    }
+    return "?";
+}
+
+} // namespace pmill

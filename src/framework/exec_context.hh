@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Execution context: the accounting boundary between functional code
+ * (drivers, elements, tables) and the simulated machine (cache
+ * hierarchy + cost model).
+ *
+ * Every memory access and compute step performed on behalf of the
+ * DUT core flows through one ExecContext, which accumulates the
+ * core-clocked and wall-clock (uncore) time components plus retired
+ * instructions for the IPC model.
+ */
+
+#ifndef PMILL_FRAMEWORK_EXEC_CONTEXT_HH
+#define PMILL_FRAMEWORK_EXEC_CONTEXT_HH
+
+#include <cstdint>
+
+#include "src/common/types.hh"
+#include "src/mem/access_sink.hh"
+#include "src/mem/cache.hh"
+#include "src/mem/sim_memory.hh"
+#include "src/runtime/cost_model.hh"
+
+namespace pmill {
+
+/** Metadata-management model selector (§2.2 / §3.1 of the paper). */
+enum class MetadataModel : std::uint8_t {
+    kCopying,     ///< FastClick default: mbuf -> Packet copy
+    kOverlaying,  ///< BESS-style: cast the mbuf, annotations appended
+    kXchange,     ///< PacketMill: PMD writes custom metadata directly
+};
+
+/** Human-readable model name. */
+const char *metadata_model_name(MetadataModel m);
+
+/** Which PacketMill optimizations are applied to a pipeline. */
+struct PipelineOpts {
+    MetadataModel model = MetadataModel::kCopying;
+    bool devirtualize = false;   ///< click-devirtualize: direct calls
+    bool constants = false;      ///< constant embedding / folding
+    bool static_graph = false;   ///< static element placement + full
+                                 ///< devirtualization (inlining)
+    bool lto = false;            ///< link-time optimization
+    bool reorder = false;        ///< metadata field reordering pass
+    std::uint32_t burst = 32;    ///< RX burst size
+
+    /// @name Framework-personality knobs (§4.6 comparisons).
+    /// @{
+    /// Scale on the per-packet framework overhead (1.0 = FastClick;
+    /// BESS/VPP are leaner; a raw DPDK app is near zero).
+    double framework_scale = 1.0;
+    /// FastClick links batches through a per-packet next pointer.
+    bool batch_link = true;
+    /// VPP-style hybrid: overlay the mbuf but also copy fields into
+    /// the framework's own buffer metadata (vlib_buffer_t).
+    bool overlay_field_copy = false;
+    /// @}
+
+    /** The paper's full "PacketMill" configuration. */
+    static PipelineOpts
+    packetmill()
+    {
+        PipelineOpts o;
+        o.model = MetadataModel::kXchange;
+        o.devirtualize = true;
+        o.constants = true;
+        o.static_graph = true;
+        o.lto = true;
+        return o;
+    }
+
+    /** The paper's "Vanilla" baseline (FastClick, Copying). */
+    static PipelineOpts
+    vanilla()
+    {
+        return PipelineOpts{};
+    }
+};
+
+/** Accumulated execution counters for a measurement interval. */
+struct ExecCounters {
+    double compute_cycles = 0;   ///< ALU work (core-clocked)
+    double access_cycles = 0;    ///< L1/L2 access time (core-clocked)
+    double wall_ns = 0;          ///< uncore time after MLP overlap
+    double instructions = 0;     ///< retired-instruction model
+    std::uint64_t accesses = 0;
+
+    /** Total core cycles including memory stalls at @p freq_ghz. */
+    double
+    total_cycles(double freq_ghz) const
+    {
+        return compute_cycles + access_cycles + wall_ns * freq_ghz;
+    }
+
+    /** Modeled IPC at @p freq_ghz. */
+    double
+    ipc(double freq_ghz) const
+    {
+        const double c = total_cycles(freq_ghz);
+        return c > 0 ? instructions / c : 0.0;
+    }
+};
+
+/** The DUT core's accounting context. */
+class ExecContext : public AccessSink {
+  public:
+    ExecContext(CacheHierarchy &caches, const CostModel &cost,
+                const PipelineOpts &opts, double freq_ghz)
+        : caches_(caches), cost_(cost), opts_(opts), freq_ghz_(freq_ghz)
+    {}
+
+    // --- AccessSink ---
+    void
+    on_access(Addr addr, std::uint32_t size, AccessType type) override
+    {
+        AccessResult r = caches_.access(addr, size, type);
+        c_.access_cycles += r.core_cycles;
+        c_.wall_ns += r.wall_ns * cost_.mem_overlap;
+        c_.instructions += cost_.instr_per_access;
+        ++c_.accesses;
+    }
+
+    void
+    on_compute(Cycles cycles, double instructions) override
+    {
+        if (opts_.lto)
+            cycles *= cost_.lto_compute_scale;
+        c_.compute_cycles += cycles;
+        c_.instructions += instructions;
+    }
+
+    /// @name Convenience wrappers used by elements.
+    /// @{
+    void load(Addr a, std::uint32_t sz) { on_access(a, sz, AccessType::kLoad); }
+    void store(Addr a, std::uint32_t sz)
+    {
+        on_access(a, sz, AccessType::kStore);
+    }
+
+    /**
+     * Charge the per-packet element-boundary dispatch cost according
+     * to the optimization level.
+     */
+    void
+    dispatch(std::uint32_t num_packets)
+    {
+        double cyc = cost_.vcall_cycles;
+        if (opts_.static_graph)
+            cyc = cost_.inlined_call_cycles;
+        else if (opts_.devirtualize)
+            cyc = cost_.direct_call_cycles;
+        on_compute(cyc * num_packets, 3.0 * num_packets);
+    }
+
+    /**
+     * Read one element parameter: a state load normally, or a folded
+     * constant when constant embedding is on.
+     */
+    void
+    param_load(const MemHandle &state, std::uint32_t param_index)
+    {
+        if (opts_.constants) {
+            on_compute(cost_.const_param_cycles, 0.5);
+        } else {
+            load(state.addr + 8ull * param_index, 8);
+        }
+    }
+    /// @}
+
+    const PipelineOpts &opts() const { return opts_; }
+    const CostModel &cost() const { return cost_; }
+    CacheHierarchy &caches() { return caches_; }
+    double freq_ghz() const { return freq_ghz_; }
+
+    /** Elapsed DUT time for the accumulated counters. */
+    TimeNs
+    elapsed_ns() const
+    {
+        return (c_.compute_cycles + c_.access_cycles) / freq_ghz_ +
+               c_.wall_ns;
+    }
+
+    const ExecCounters &counters() const { return c_; }
+
+    /** Zero the counters (cache state stays warm). */
+    void reset() { c_ = ExecCounters{}; }
+
+  private:
+    CacheHierarchy &caches_;
+    CostModel cost_;
+    PipelineOpts opts_;
+    double freq_ghz_;
+    ExecCounters c_;
+};
+
+} // namespace pmill
+
+#endif // PMILL_FRAMEWORK_EXEC_CONTEXT_HH

@@ -1,0 +1,248 @@
+#include "src/framework/pipeline.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+#include "src/elements/elements.hh"
+
+namespace pmill {
+
+namespace {
+
+/// Size of the fragmented-heap region the dynamic graph chases
+/// through (must exceed the LLC so the chase misses in steady state).
+constexpr std::uint64_t kFragRegionBytes = 30ull * 1024 * 1024;
+
+MetadataLayout
+layout_for(MetadataModel model)
+{
+    switch (model) {
+      case MetadataModel::kCopying: return make_copying_layout();
+      case MetadataModel::kOverlaying: return make_overlay_layout();
+      case MetadataModel::kXchange: return make_xchg_layout();
+    }
+    panic("bad model");
+}
+
+} // namespace
+
+std::unique_ptr<Pipeline>
+Pipeline::build(const std::string &config_text, SimMemory &mem,
+                const PipelineOpts &opts, std::string *err)
+{
+    register_standard_elements();
+
+    auto p = std::unique_ptr<Pipeline>(new Pipeline);
+    p->opts_ = opts;
+    p->layout_ = layout_for(opts.model);
+
+    if (!parse_click_config(config_text, &p->parsed_, err))
+        return nullptr;
+    if (p->parsed_.elements.empty()) {
+        if (err)
+            *err = "configuration declares no elements";
+        return nullptr;
+    }
+
+    ElementRegistry &reg = ElementRegistry::instance();
+    for (const auto &pe : p->parsed_.elements) {
+        auto inst = reg.create(pe.class_name);
+        if (!inst) {
+            if (err)
+                *err = "unknown element class '" + pe.class_name + "'";
+            return nullptr;
+        }
+        inst->set_name(pe.name);
+        std::string cfg_err;
+        if (!inst->configure(pe.args, &cfg_err)) {
+            if (err)
+                *err = pe.name + ": " + cfg_err;
+            return nullptr;
+        }
+        p->instances_.push_back(std::move(inst));
+    }
+
+    // State placement: the static graph packs all element state
+    // contiguously (a .data-segment arena); the dynamic graph leaves
+    // each element wherever config-time heap allocation scattered it.
+    for (auto &inst : p->instances_) {
+        const std::uint32_t sz = std::max(inst->state_bytes(), 64u);
+        MemHandle h =
+            opts.static_graph
+                ? mem.alloc(sz, kCacheLineBytes, Region::kStaticArena)
+                : mem.alloc_scattered(sz, Region::kHeap);
+        inst->set_state(h);
+        inst->set_layout(&p->layout_);
+    }
+
+    for (auto &inst : p->instances_) {
+        std::string init_err;
+        if (!inst->initialize(mem, &init_err)) {
+            if (err)
+                *err = inst->name() + ": " + init_err;
+            return nullptr;
+        }
+    }
+
+    // Locate the source and its successor.
+    auto sources = p->parsed_.of_class("FromDPDKDevice");
+    if (sources.size() != 1) {
+        if (err)
+            *err = "pipeline needs exactly one FromDPDKDevice";
+        return nullptr;
+    }
+    p->source_ = static_cast<int>(sources[0]);
+    p->entry_ = p->parsed_.next_of(sources[0], 0);
+    if (p->entry_ < 0) {
+        if (err)
+            *err = "FromDPDKDevice is not connected";
+        return nullptr;
+    }
+
+    if (!opts.static_graph)
+        p->frag_ = mem.alloc(kFragRegionBytes, kPageBytes, Region::kHeap);
+    return p;
+}
+
+Element *
+Pipeline::find(const std::string &name) const
+{
+    const int i = parsed_.find(name);
+    return i < 0 ? nullptr : instances_[static_cast<std::size_t>(i)].get();
+}
+
+Element *
+Pipeline::find_class(const std::string &class_name) const
+{
+    for (std::size_t i = 0; i < parsed_.elements.size(); ++i)
+        if (parsed_.elements[i].class_name == class_name)
+            return instances_[i].get();
+    return nullptr;
+}
+
+void
+Pipeline::set_layout(const MetadataLayout &l)
+{
+    layout_ = l;
+}
+
+std::uint32_t
+Pipeline::burst() const
+{
+    const auto *src = dynamic_cast<const FromDPDKDevice *>(
+        instances_[static_cast<std::size_t>(source_)].get());
+    return src ? src->burst() : 32;
+}
+
+std::vector<Element *>
+Pipeline::elements() const
+{
+    std::vector<Element *> out;
+    out.reserve(instances_.size());
+    for (const auto &i : instances_)
+        out.push_back(i.get());
+    return out;
+}
+
+void
+Pipeline::process(PacketBatch &batch, ExecContext &ctx)
+{
+    if (batch.count == 0)
+        return;
+
+    // Per-packet pointer chase through the fragmented heap (vanilla
+    // dynamic graph only; the paper's static graph removes it).
+    if (!opts_.static_graph && frag_) {
+        const std::uint64_t lines = frag_.size / kCacheLineBytes;
+        const double per_pkt =
+            ctx.cost().heap_indirection_lines_per_element *
+            std::max<std::size_t>(1, instances_.size() - 2);
+        const std::uint64_t n = static_cast<std::uint64_t>(
+            per_pkt * batch.count + 0.5);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            ctx.load(frag_.addr + (frag_cursor_ % lines) * kCacheLineBytes,
+                     8);
+            ++frag_cursor_;
+        }
+    }
+
+    // The static graph lets the compiler inline and specialize much
+    // of the per-packet framework glue away.
+    const double fw_scale =
+        opts_.framework_scale * (opts_.static_graph ? 0.8 : 1.0);
+    ctx.on_compute(ctx.cost().framework_per_packet_cycles * fw_scale *
+                       batch.count,
+                   80.0 * fw_scale * batch.count);
+
+    PacketBatch out;
+    run_from(entry_, batch, ctx, out);
+    batch = out;
+}
+
+void
+Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
+                   PacketBatch &out)
+{
+    if (batch.count == 0)
+        return;
+    if (idx < 0) {
+        // Unconnected port: Click drops here.
+        dropped_ += batch.count;
+        return;
+    }
+
+    Element *e = instances_[static_cast<std::size_t>(idx)].get();
+
+    // Element boundary: dispatch cost + the element's state line.
+    ctx.dispatch(batch.count);
+    ctx.load(e->state().addr, 16);
+
+    const std::uint32_t before = batch.count;
+    e->process(batch, ctx);
+
+    // Terminal: ToDPDKDevice stamps the egress port and collects.
+    if (dynamic_cast<ToDPDKDevice *>(e) != nullptr) {
+        for (std::uint32_t i = 0; i < batch.count; ++i) {
+            if (!batch[i].dropped) {
+                PMILL_ASSERT(out.count < kMaxBurst, "tx batch overflow");
+                out.pkts[out.count++] = batch[i];
+                ++forwarded_;
+            } else {
+                ++dropped_;
+            }
+        }
+        return;
+    }
+
+    (void)before;
+    const std::uint32_t before_compact = batch.count;
+    batch.compact();
+    dropped_ += before_compact - batch.count;
+    if (batch.count == 0)
+        return;
+
+    const std::uint32_t nout = e->num_outputs();
+    if (nout <= 1) {
+        run_from(parsed_.next_of(static_cast<std::uint32_t>(idx), 0),
+                 batch, ctx, out);
+        return;
+    }
+
+    // Partition by out_port and push each sub-batch downstream.
+    for (std::uint32_t port = 0; port < nout; ++port) {
+        PacketBatch sub;
+        for (std::uint32_t i = 0; i < batch.count; ++i) {
+            if (batch[i].out_port == port) {
+                sub.pkts[sub.count] = batch[i];
+                sub.pkts[sub.count].out_port = 0;
+                ++sub.count;
+            }
+        }
+        if (sub.count) {
+            run_from(parsed_.next_of(static_cast<std::uint32_t>(idx), port),
+                     sub, ctx, out);
+        }
+    }
+}
+
+} // namespace pmill

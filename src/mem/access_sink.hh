@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Interface through which instrumented data structures (tables,
+ * drivers, elements) report their memory accesses for cache/cost
+ * accounting. The runtime's ExecContext implements it; passing
+ * nullptr runs the structure un-instrumented (pure host execution),
+ * which the unit tests use.
+ */
+
+#ifndef PMILL_MEM_ACCESS_SINK_HH
+#define PMILL_MEM_ACCESS_SINK_HH
+
+#include <cstdint>
+
+#include "src/common/types.hh"
+#include "src/mem/cache.hh"
+
+namespace pmill {
+
+/** Receiver of simulated memory accesses and compute cycles. */
+class AccessSink {
+  public:
+    virtual ~AccessSink() = default;
+
+    /** Account one memory access at simulated address @p addr. */
+    virtual void on_access(Addr addr, std::uint32_t size,
+                           AccessType type) = 0;
+
+    /** Account pure compute work (ALU cycles and retired instrs). */
+    virtual void on_compute(Cycles cycles, double instructions) = 0;
+};
+
+/** Account a load if @p sink is non-null. */
+inline void
+sink_load(AccessSink *sink, Addr addr, std::uint32_t size)
+{
+    if (sink)
+        sink->on_access(addr, size, AccessType::kLoad);
+}
+
+/** Account a store if @p sink is non-null. */
+inline void
+sink_store(AccessSink *sink, Addr addr, std::uint32_t size)
+{
+    if (sink)
+        sink->on_access(addr, size, AccessType::kStore);
+}
+
+/** Account compute if @p sink is non-null. */
+inline void
+sink_compute(AccessSink *sink, Cycles cycles, double instructions)
+{
+    if (sink)
+        sink->on_compute(cycles, instructions);
+}
+
+} // namespace pmill
+
+#endif // PMILL_MEM_ACCESS_SINK_HH

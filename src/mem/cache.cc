@@ -1,0 +1,303 @@
+#include "src/mem/cache.hh"
+
+#include "src/common/log.hh"
+
+namespace pmill {
+
+MemStats
+MemStats::operator-(const MemStats &o) const
+{
+    MemStats d;
+    d.loads = loads - o.loads;
+    d.stores = stores - o.stores;
+    d.l1_load_misses = l1_load_misses - o.l1_load_misses;
+    d.l2_load_misses = l2_load_misses - o.l2_load_misses;
+    d.llc_load_misses = llc_load_misses - o.llc_load_misses;
+    d.l1_store_misses = l1_store_misses - o.l1_store_misses;
+    d.l2_store_misses = l2_store_misses - o.l2_store_misses;
+    d.llc_store_misses = llc_store_misses - o.llc_store_misses;
+    d.dev_writes = dev_writes - o.dev_writes;
+    d.dev_reads = dev_reads - o.dev_reads;
+    d.dev_reads_dram = dev_reads_dram - o.dev_reads_dram;
+    d.tlb_misses = tlb_misses - o.tlb_misses;
+    d.prefetches = prefetches - o.prefetches;
+    return d;
+}
+
+CacheLevel::CacheLevel(std::uint64_t size_bytes, std::uint32_t ways)
+    : ways_(ways)
+{
+    PMILL_ASSERT(ways > 0, "cache needs at least one way");
+    std::uint64_t lines = size_bytes / kCacheLineBytes;
+    sets_ = lines / ways;
+    PMILL_ASSERT(is_pow2(sets_),
+                 "cache set count must be a power of two (size %llu, "
+                 "ways %u)",
+                 static_cast<unsigned long long>(size_bytes), ways);
+    set_mask_ = sets_ - 1;
+    tags_.resize(sets_ * ways_);
+}
+
+bool
+CacheLevel::lookup(std::uint64_t line)
+{
+    Way *set = &tags_[set_of(line) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == line) {
+            set[w].stamp = ++clock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+CacheLevel::insert(std::uint64_t line, std::uint32_t way_limit,
+                   bool cpu_fill)
+{
+    Way *set = &tags_[set_of(line) * ways_];
+    const std::uint32_t limit =
+        (way_limit == 0 || way_limit > ways_) ? ways_ : way_limit;
+
+    // Already present (e.g.\ DevWrite to a CPU-resident line): refresh.
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == line) {
+            set[w].stamp = ++clock_;
+            set[w].cpu = cpu_fill;
+            return;
+        }
+    }
+
+    // Victim priority: invalid > LRU streaming line > LRU overall.
+    int victim = -1;
+    std::uint32_t best_stamp = ~0u;
+    for (std::uint32_t w = 0; w < limit; ++w) {
+        if (!set[w].valid) {
+            victim = static_cast<int>(w);
+            break;
+        }
+        if (!set[w].cpu && set[w].stamp < best_stamp) {
+            best_stamp = set[w].stamp;
+            victim = static_cast<int>(w);
+        }
+    }
+    if (victim < 0) {
+        best_stamp = ~0u;
+        for (std::uint32_t w = 0; w < limit; ++w) {
+            if (set[w].stamp < best_stamp) {
+                best_stamp = set[w].stamp;
+                victim = static_cast<int>(w);
+            }
+        }
+    }
+    Way &v = set[static_cast<std::uint32_t>(victim)];
+    v.tag = line;
+    v.valid = true;
+    v.stamp = ++clock_;
+    v.cpu = cpu_fill;
+}
+
+void
+CacheLevel::invalidate(std::uint64_t line)
+{
+    Way *set = &tags_[set_of(line) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == line) {
+            set[w].valid = false;
+            return;
+        }
+    }
+}
+
+void
+CacheLevel::flush()
+{
+    for (auto &w : tags_)
+        w = Way{};
+    clock_ = 0;
+}
+
+TlbModel::TlbModel(std::uint32_t entries) : entries_(entries) {}
+
+bool
+TlbModel::access(std::uint64_t page)
+{
+    Entry *victim = &entries_[0];
+    for (auto &e : entries_) {
+        if (e.valid && e.page == page) {
+            e.stamp = ++clock_;
+            return true;
+        }
+    }
+    for (auto &e : entries_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.stamp < victim->stamp)
+            victim = &e;
+    }
+    victim->page = page;
+    victim->valid = true;
+    victim->stamp = ++clock_;
+    return false;
+}
+
+void
+TlbModel::flush()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+    clock_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig &cfg)
+    : cfg_(cfg),
+      l1_(cfg.l1_size, cfg.l1_ways),
+      l2_(cfg.l2_size, cfg.l2_ways),
+      llc_(cfg.llc_size, cfg.llc_ways),
+      tlb_(cfg.tlb_entries)
+{
+}
+
+AccessResult
+CacheHierarchy::access(Addr addr, std::uint32_t size, AccessType type)
+{
+    PMILL_ASSERT(size > 0, "zero-size access");
+    const std::uint64_t first = line_of(addr);
+    const std::uint64_t last = line_of(addr + size - 1);
+
+    AccessResult total;
+    for (std::uint64_t ln = first; ln <= last; ++ln) {
+        AccessResult r =
+            access_line(ln, ln * kCacheLineBytes / kPageBytes, type);
+        total.core_cycles += r.core_cycles;
+        total.wall_ns += r.wall_ns;
+        if (r.level > total.level)
+            total.level = r.level;
+    }
+    return total;
+}
+
+AccessResult
+CacheHierarchy::access_line(std::uint64_t line, std::uint64_t page,
+                            AccessType type)
+{
+    AccessResult r;
+
+    const bool skip_tlb = (type == AccessType::kDevWrite ||
+                           type == AccessType::kDevRead ||
+                           type == AccessType::kPrefetch);
+
+    if (!skip_tlb && cfg_.tlb_enable && !tlb_.access(page)) {
+        ++stats_.tlb_misses;
+        r.wall_ns += cfg_.tlb_miss_ns;
+    }
+
+    switch (type) {
+      case AccessType::kLoad:
+      case AccessType::kStore: {
+        const bool is_load = (type == AccessType::kLoad);
+        if (is_load)
+            ++stats_.loads;
+        else
+            ++stats_.stores;
+
+        r.core_cycles += cfg_.l1_cycles;
+        if (l1_.lookup(line)) {
+            r.level = HitLevel::kL1;
+            return r;
+        }
+        if (is_load)
+            ++stats_.l1_load_misses;
+        else
+            ++stats_.l1_store_misses;
+
+        r.core_cycles += cfg_.l2_cycles;
+        if (l2_.lookup(line)) {
+            l1_.insert(line);
+            r.level = HitLevel::kL2;
+            return r;
+        }
+        if (is_load)
+            ++stats_.l2_load_misses;
+        else
+            ++stats_.l2_store_misses;
+
+        r.wall_ns += cfg_.llc_ns;
+        if (llc_.lookup(line)) {
+            l2_.insert(line);
+            l1_.insert(line);
+            r.level = HitLevel::kLlc;
+            return r;
+        }
+        if (is_load) {
+            ++stats_.llc_load_misses;
+            if (miss_hook_)
+                miss_hook_(line * kCacheLineBytes);
+        } else {
+            ++stats_.llc_store_misses;
+        }
+
+        r.wall_ns += cfg_.dram_ns;
+        llc_.insert(line);
+        l2_.insert(line);
+        l1_.insert(line);
+        r.level = HitLevel::kDram;
+        return r;
+      }
+
+      case AccessType::kDevWrite: {
+        ++stats_.dev_writes;
+        // DDIO write: the line is updated/allocated in the LLC only,
+        // restricted to the DDIO way mask; stale copies in the core
+        // caches are invalidated (ownership moved to the IIO agent).
+        l1_.invalidate(line);
+        l2_.invalidate(line);
+        llc_.insert(line, cfg_.ddio_ways, /*cpu_fill=*/false);
+        r.level = HitLevel::kLlc;
+        return r;
+      }
+
+      case AccessType::kPrefetch: {
+        ++stats_.prefetches;
+        // Fill the hierarchy without charging latency or demand-load
+        // counters: issued far enough ahead that the pipeline hides it.
+        if (!l1_.lookup(line)) {
+            if (!l2_.lookup(line)) {
+                if (!llc_.lookup(line))
+                    llc_.insert(line, 0, /*cpu_fill=*/false);
+                l2_.insert(line);
+            }
+            l1_.insert(line);
+        }
+        r.level = HitLevel::kL1;
+        return r;
+      }
+
+      case AccessType::kDevRead: {
+        ++stats_.dev_reads;
+        // DMA read for TX: served from LLC when resident, else DRAM.
+        // No allocation on the read path.
+        if (llc_.lookup(line)) {
+            r.level = HitLevel::kLlc;
+        } else {
+            r.level = HitLevel::kDram;
+            ++stats_.dev_reads_dram;
+        }
+        return r;
+      }
+    }
+    panic("unreachable access type");
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1_.flush();
+    l2_.flush();
+    llc_.flush();
+    tlb_.flush();
+}
+
+} // namespace pmill

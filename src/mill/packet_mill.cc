@@ -1,0 +1,217 @@
+#include "src/mill/packet_mill.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+#include "src/elements/elements.hh"
+#include "src/runtime/engine.hh"
+
+namespace pmill {
+
+namespace {
+
+/** Fields written by the RX conversion path (CQE -> Packet copy). */
+const Field kRxWrites[] = {
+    Field::kMbufPtr,   Field::kDataAddr, Field::kLen,
+    Field::kTimestamp, Field::kPort,     Field::kPacketType,
+    Field::kVlanTci,   Field::kRssHash,  Field::kNextPtr,
+};
+
+/** Fields read back on the TX conversion path. */
+const Field kTxReads[] = {Field::kDataAddr, Field::kLen};
+
+/** Members of the opaque 48-B user-annotation area. */
+constexpr bool
+in_anno_area(Field f)
+{
+    return f == Field::kTimestamp || f == Field::kPaint ||
+           f == Field::kDstIpAnno || f == Field::kAggregate;
+}
+
+} // namespace
+
+FieldUsage
+scan_field_references(const Pipeline &pipeline)
+{
+    FieldUsage usage;
+    // Datapath conversions run once per packet.
+    for (Field f : kRxWrites)
+        ++usage.writes[static_cast<std::size_t>(f)];
+    for (Field f : kTxReads)
+        ++usage.reads[static_cast<std::size_t>(f)];
+
+    // Element references (each element's declared per-packet profile).
+    for (const Element *e : pipeline.elements()) {
+        std::vector<Field> reads, writes;
+        e->access_profile(reads, writes);
+        for (Field f : reads)
+            ++usage.reads[static_cast<std::size_t>(f)];
+        for (Field f : writes)
+            ++usage.writes[static_cast<std::size_t>(f)];
+    }
+    return usage;
+}
+
+std::vector<Field>
+hot_field_order(const FieldUsage &usage)
+{
+    std::vector<Field> order;
+    for (std::size_t i = 0; i < kNumFields; ++i)
+        order.push_back(static_cast<Field>(i));
+    std::stable_sort(order.begin(), order.end(),
+                     [&](Field a, Field b) {
+                         return usage.total(a) > usage.total(b);
+                     });
+    return order;
+}
+
+MetadataLayout
+reorder_packet_layout(const MetadataLayout &base, const FieldUsage &usage)
+{
+    const std::vector<Field> order = hot_field_order(usage);
+
+    MetadataLayout l;
+    l.name = base.name + "+reordered";
+    l.total_bytes = base.total_bytes;
+
+    // Pass 1: scalar members, hot first, naturally aligned.
+    std::uint32_t off = 0;
+    for (Field f : order) {
+        if (in_anno_area(f))
+            continue;
+        const std::uint32_t sz = field_size(f);
+        off = static_cast<std::uint32_t>(round_up(off, std::min(sz, 8u)));
+        l.offset[static_cast<std::size_t>(f)] =
+            static_cast<std::uint16_t>(off);
+        off += sz;
+    }
+    // Pass 2: the annotation area moves as one unit after the
+    // scalars (a single char[48] member cannot be split).
+    off = static_cast<std::uint32_t>(round_up(off, 8));
+    std::uint32_t anno_off = 0;
+    for (Field f : order) {
+        if (!in_anno_area(f))
+            continue;
+        const std::uint32_t sz = field_size(f);
+        anno_off =
+            static_cast<std::uint32_t>(round_up(anno_off, std::min(sz, 8u)));
+        l.offset[static_cast<std::size_t>(f)] =
+            static_cast<std::uint16_t>(off + anno_off);
+        anno_off += sz;
+    }
+    PMILL_ASSERT(off + anno_off <= l.total_bytes,
+                 "reordered layout exceeds the Packet object size");
+    return l;
+}
+
+namespace {
+
+std::vector<Field>
+rx_written_fields()
+{
+    return std::vector<Field>(std::begin(kRxWrites), std::end(kRxWrites));
+}
+
+MillReport
+analyze_impl(Pipeline &pipeline, bool apply_reorder)
+{
+    MillReport r;
+    r.num_elements =
+        static_cast<std::uint32_t>(pipeline.parsed().elements.size());
+    r.num_edges = static_cast<std::uint32_t>(pipeline.parsed().edges.size());
+    const PipelineOpts &o = pipeline.opts();
+    r.devirtualized = o.devirtualize || o.static_graph;
+    r.constants_embedded = o.constants;
+    r.static_graph = o.static_graph;
+    r.lto = o.lto;
+
+    const FieldUsage usage = scan_field_references(pipeline);
+    r.hot_order = hot_field_order(usage);
+    r.layout_lines_before =
+        pipeline.layout().lines_spanned(rx_written_fields());
+
+    if (apply_reorder && o.model == MetadataModel::kCopying) {
+        MetadataLayout reordered =
+            reorder_packet_layout(pipeline.layout(), usage);
+        pipeline.set_layout(reordered);
+        r.reordered = true;
+    }
+    r.layout_lines_after =
+        pipeline.layout().lines_spanned(rx_written_fields());
+    return r;
+}
+
+} // namespace
+
+MillReport
+PacketMill::analyze(Pipeline &pipeline, bool apply_reorder)
+{
+    return analyze_impl(pipeline, apply_reorder);
+}
+
+MillReport
+PacketMill::grind(Engine &engine)
+{
+    MillReport report;
+    // Core 0's pipeline is representative; apply to every core.
+    for (std::uint32_t c = 0;; ++c) {
+        Pipeline *p;
+        // Engine exposes pipelines by index; stop at the core count.
+        // (Engine::pipeline asserts in-range, so probe via caches().)
+        p = &engine.pipeline(c);
+        const bool reorder = p->opts().reorder;
+        report = analyze_impl(*p, reorder);
+        if (c + 1 >= engine.num_cores())
+            break;
+    }
+    return report;
+}
+
+std::uint32_t
+PacketMill::profile_guided(Engine &engine, double profile_us)
+{
+    RunConfig rc;
+    rc.offered_gbps = 20.0;
+    rc.warmup_us = 50.0;
+    rc.duration_us = profile_us;
+    engine.run(rc);
+
+    std::uint32_t specialized = 0;
+    for (std::uint32_t c = 0; c < engine.num_cores(); ++c) {
+        for (Element *e : engine.pipeline(c).elements()) {
+            if (auto *cl = dynamic_cast<Classifier *>(e)) {
+                cl->specialize_match_order();
+                cl->reset_hits();
+                ++specialized;
+            }
+        }
+    }
+    return specialized;
+}
+
+std::string
+MillReport::to_string() const
+{
+    std::string s;
+    s += strprintf("PacketMill report: %u elements, %u edges\n",
+                   num_elements, num_edges);
+    s += strprintf("  devirtualize:      %s\n",
+                   devirtualized ? "yes (direct/inlined calls)" : "no");
+    s += strprintf("  constant embed:    %s\n",
+                   constants_embedded ? "yes" : "no");
+    s += strprintf("  static graph:      %s\n",
+                   static_graph ? "yes (arena-placed elements)" : "no");
+    s += strprintf("  LTO:               %s\n", lto ? "yes" : "no");
+    s += strprintf("  reorder pass:      %s\n", reordered ? "yes" : "no");
+    s += strprintf("  RX-written fields span %u -> %u cache line(s)\n",
+                   layout_lines_before, layout_lines_after);
+    s += "  hot field order:  ";
+    for (std::size_t i = 0; i < hot_order.size() && i < 6; ++i) {
+        s += field_name(hot_order[i]);
+        s += ' ';
+    }
+    s += "...\n";
+    return s;
+}
+
+} // namespace pmill

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * PacketMill: the optimization driver (the paper's §3).
+ *
+ * Given an NF configuration and a set of enabled passes, PacketMill
+ * "grinds" the whole stack:
+ *
+ *  - source-code passes (§3.2.1): devirtualization, constant
+ *    embedding, and the static graph — these are encoded in
+ *    PipelineOpts and take effect when the pipeline is built;
+ *  - the X-Change metadata model (§3.1) — selected via
+ *    PipelineOpts::model;
+ *  - the IR-level metadata reordering pass (§3.2.2) — implemented
+ *    here: a reference scan over the element graph and the datapath's
+ *    conversion writes yields per-field access counts, hot fields are
+ *    packed first (the paper's GEPI-rewriting pass equivalent), and
+ *    the pipeline's layout is swapped, transparently to all elements.
+ *
+ * Like the paper's pass, reordering is applied to the Copying model's
+ * Packet class only, and the 48-B user-annotation area moves as one
+ * opaque unit (a single class member cannot be split by reordering).
+ */
+
+#ifndef PMILL_MILL_PACKET_MILL_HH
+#define PMILL_MILL_PACKET_MILL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/framework/metadata.hh"
+#include "src/framework/pipeline.hh"
+
+namespace pmill {
+
+class Engine;
+
+/** Per-field reference counts from the static reference scan. */
+struct FieldUsage {
+    std::array<std::uint64_t, kNumFields> reads{};
+    std::array<std::uint64_t, kNumFields> writes{};
+
+    std::uint64_t
+    total(Field f) const
+    {
+        const auto i = static_cast<std::size_t>(f);
+        return reads[i] + writes[i];
+    }
+};
+
+/** What the mill did, for logging and the bench reports. */
+struct MillReport {
+    std::uint32_t num_elements = 0;
+    std::uint32_t num_edges = 0;
+    bool devirtualized = false;
+    bool constants_embedded = false;
+    bool static_graph = false;
+    bool lto = false;
+    bool reordered = false;
+    std::uint32_t layout_lines_before = 0;  ///< lines the hot fields span
+    std::uint32_t layout_lines_after = 0;
+    std::vector<Field> hot_order;  ///< chosen field order (hot first)
+
+    std::string to_string() const;
+};
+
+/**
+ * Scan the pipeline's elements (their declared access profiles) plus
+ * the datapath conversion writes for references to metadata fields —
+ * the stand-in for the paper's LLVM pass scanning GEPI references in
+ * the whole-program bitcode.
+ */
+FieldUsage scan_field_references(const Pipeline &pipeline);
+
+/** Hot-first field ordering from a usage scan (stable for ties). */
+std::vector<Field> hot_field_order(const FieldUsage &usage);
+
+/**
+ * The reordering pass: produce a layout for the Copying Packet class
+ * with hot scalar fields packed from offset 0 and the annotation
+ * area moved as a unit.
+ */
+MetadataLayout reorder_packet_layout(const MetadataLayout &base,
+                                     const FieldUsage &usage);
+
+/** The PacketMill driver. */
+class PacketMill {
+  public:
+    /**
+     * Apply the IR-level passes to every core pipeline of @p engine
+     * (the source-level passes were applied at build time through
+     * PipelineOpts) and return the build report.
+     */
+    static MillReport grind(Engine &engine);
+
+    /** Report-only variant for a single pipeline. */
+    static MillReport analyze(Pipeline &pipeline, bool apply_reorder);
+
+    /**
+     * Profile-guided specialization (the §5 FAQ extension): run a
+     * short profiling interval of @p engine, then re-sort every
+     * Classifier's match order hot-first. @return number of
+     * classifiers specialized.
+     */
+    static std::uint32_t profile_guided(Engine &engine,
+                                        double profile_us = 300.0);
+};
+
+} // namespace pmill
+
+#endif // PMILL_MILL_PACKET_MILL_HH

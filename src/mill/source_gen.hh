@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Specialized-source generation.
+ *
+ * click-devirtualize is a source-to-source tool: it reads a Click
+ * configuration and emits C++ in which the graph's virtual calls are
+ * replaced by direct calls on statically declared element objects.
+ * PacketMill resurrects it and goes further (static graph, embedded
+ * constants). This module emits the equivalent specialized C++ for an
+ * NF configuration — a readable artifact showing exactly what the
+ * source-level passes do: static element definitions in a .data-style
+ * arena, the inlined processing chain in graph order, and the
+ * configuration parameters folded in as constexpr constants.
+ *
+ * The emitted code is documentation of the transformation (this
+ * repository's pipelines execute the same plan via the engine); it is
+ * what PacketMill's `click-mill` step would hand to clang+LTO.
+ */
+
+#ifndef PMILL_MILL_SOURCE_GEN_HH
+#define PMILL_MILL_SOURCE_GEN_HH
+
+#include <string>
+
+#include "src/framework/pipeline.hh"
+
+namespace pmill {
+
+/**
+ * Emit the specialized C++ translation unit for @p pipeline under its
+ * optimization options: static element declarations, constexpr-folded
+ * parameters (when constant embedding is on), and a process_batch()
+ * whose call chain follows the graph with direct/inlined calls (when
+ * devirtualization / the static graph is on).
+ */
+std::string emit_specialized_source(const Pipeline &pipeline);
+
+} // namespace pmill
+
+#endif // PMILL_MILL_SOURCE_GEN_HH

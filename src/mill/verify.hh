@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Differential equivalence verification.
+ *
+ * The paper's §5 ("Does PacketMill affect the correctness?") argues
+ * that deploying optimized NFs should be accompanied by a
+ * verification stage. Full symbolic verification (Vigor/KLEE) is out
+ * of scope, but the optimizations here are semantics-preserving by
+ * construction, and this harness checks exactly that property
+ * end-to-end: it replays the same traffic through two differently
+ * optimized builds of the same NF and compares the multiset of
+ * emitted frames byte-for-byte (multiset, because batch boundaries —
+ * and hence the interleaving of packets taking different graph paths
+ * — legitimately differ between builds of different speeds).
+ */
+
+#ifndef PMILL_MILL_VERIFY_HH
+#define PMILL_MILL_VERIFY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/framework/exec_context.hh"
+#include "src/trace/trace.hh"
+
+namespace pmill {
+
+/** Outcome of an equivalence check. */
+struct EquivalenceReport {
+    bool equivalent = false;
+    std::uint64_t frames_a = 0;     ///< frames emitted by build A
+    std::uint64_t frames_b = 0;
+    std::uint64_t mismatches = 0;   ///< frames not matched 1:1
+    std::string detail;             ///< human-readable explanation
+
+    std::string to_string() const;
+};
+
+/**
+ * Replay @p trace through the NF @p config built with @p opts_a and
+ * with @p opts_b (at a load low enough that neither build drops), and
+ * compare the emitted frames as multisets of exact byte strings.
+ */
+EquivalenceReport verify_equivalence(const std::string &config,
+                                     const PipelineOpts &opts_a,
+                                     const PipelineOpts &opts_b,
+                                     const Trace &trace,
+                                     double duration_us = 800.0);
+
+/**
+ * General form: compare two (configuration, options) builds — e.g.\ a
+ * hand-refactored NF against the original.
+ */
+EquivalenceReport verify_equivalence(const std::string &config_a,
+                                     const PipelineOpts &opts_a,
+                                     const std::string &config_b,
+                                     const PipelineOpts &opts_b,
+                                     const Trace &trace,
+                                     double duration_us);
+
+} // namespace pmill
+
+#endif // PMILL_MILL_VERIFY_HH

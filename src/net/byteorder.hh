@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Network byte-order helpers (the simulator host is little-endian
+ * x86, wire format is big-endian).
+ */
+
+#ifndef PMILL_NET_BYTEORDER_HH
+#define PMILL_NET_BYTEORDER_HH
+
+#include <cstdint>
+
+namespace pmill {
+
+/** Host to network (big-endian) 16-bit. */
+constexpr std::uint16_t
+hton16(std::uint16_t v)
+{
+    return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+/** Network to host 16-bit. */
+constexpr std::uint16_t
+ntoh16(std::uint16_t v)
+{
+    return hton16(v);
+}
+
+/** Host to network (big-endian) 32-bit. */
+constexpr std::uint32_t
+hton32(std::uint32_t v)
+{
+    return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+           ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+}
+
+/** Network to host 32-bit. */
+constexpr std::uint32_t
+ntoh32(std::uint32_t v)
+{
+    return hton32(v);
+}
+
+} // namespace pmill
+
+#endif // PMILL_NET_BYTEORDER_HH

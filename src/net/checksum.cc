@@ -1,0 +1,46 @@
+#include "src/net/checksum.hh"
+
+namespace pmill {
+
+std::uint16_t
+internet_checksum(const std::uint8_t *data, std::uint32_t len)
+{
+    std::uint64_t sum = 0;
+    while (len >= 2) {
+        sum += (std::uint32_t(data[0]) << 8) | data[1];
+        data += 2;
+        len -= 2;
+    }
+    if (len == 1)
+        sum += std::uint32_t(data[0]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::uint16_t
+checksum_update16(std::uint16_t old_sum, std::uint16_t old_val,
+                  std::uint16_t new_val)
+{
+    // RFC 1624: HC' = ~(~HC + ~m + m')
+    std::uint32_t sum = static_cast<std::uint16_t>(~old_sum);
+    sum += static_cast<std::uint16_t>(~old_val);
+    sum += new_val;
+    while (sum >> 16)
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::uint16_t
+checksum_update32(std::uint16_t old_sum, std::uint32_t old_val,
+                  std::uint32_t new_val)
+{
+    std::uint16_t sum = old_sum;
+    sum = checksum_update16(sum, static_cast<std::uint16_t>(old_val >> 16),
+                            static_cast<std::uint16_t>(new_val >> 16));
+    sum = checksum_update16(sum, static_cast<std::uint16_t>(old_val & 0xFFFF),
+                            static_cast<std::uint16_t>(new_val & 0xFFFF));
+    return sum;
+}
+
+} // namespace pmill

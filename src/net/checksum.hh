@@ -1,0 +1,36 @@
+/**
+ * @file
+ * RFC 1071 Internet checksum, plus the incremental-update form
+ * (RFC 1624) used by DecIPTTL and the NAT to avoid full
+ * recomputation — exactly what a fast IP datapath does.
+ */
+
+#ifndef PMILL_NET_CHECKSUM_HH
+#define PMILL_NET_CHECKSUM_HH
+
+#include <cstdint>
+
+namespace pmill {
+
+/**
+ * Compute the Internet checksum over @p len bytes at @p data.
+ * @return the 16-bit checksum in host byte order (store with hton16
+ * into a _be field after zeroing it for computation).
+ */
+std::uint16_t internet_checksum(const std::uint8_t *data, std::uint32_t len);
+
+/**
+ * Incrementally update checksum @p old_sum (host order) after a
+ * 16-bit field changed from @p old_val to @p new_val (both host
+ * order), per RFC 1624 eqn. 3.
+ */
+std::uint16_t checksum_update16(std::uint16_t old_sum, std::uint16_t old_val,
+                                std::uint16_t new_val);
+
+/** Incremental update for a changed 32-bit field (e.g. an address). */
+std::uint16_t checksum_update32(std::uint16_t old_sum, std::uint32_t old_val,
+                                std::uint32_t new_val);
+
+} // namespace pmill
+
+#endif // PMILL_NET_CHECKSUM_HH

@@ -1,0 +1,26 @@
+#include "src/net/flow.hh"
+
+namespace pmill {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    // splitmix64 finalizer.
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+}
+
+std::uint32_t
+rss_hash(const FiveTuple &t)
+{
+    std::uint64_t a = (std::uint64_t(t.src_ip.value) << 32) | t.dst_ip.value;
+    std::uint64_t b = (std::uint64_t(t.src_port) << 24) |
+                      (std::uint64_t(t.dst_port) << 8) | t.proto;
+    return static_cast<std::uint32_t>(mix64(a ^ mix64(b)));
+}
+
+} // namespace pmill

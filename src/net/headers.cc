@@ -1,0 +1,22 @@
+#include "src/net/headers.hh"
+
+#include "src/common/log.hh"
+
+namespace pmill {
+
+std::string
+MacAddr::to_string() const
+{
+    return strprintf("%02x:%02x:%02x:%02x:%02x:%02x", bytes[0], bytes[1],
+                     bytes[2], bytes[3], bytes[4], bytes[5]);
+}
+
+std::string
+Ipv4Addr::to_string() const
+{
+    return strprintf("%u.%u.%u.%u", (value >> 24) & 0xFF,
+                     (value >> 16) & 0xFF, (value >> 8) & 0xFF,
+                     value & 0xFF);
+}
+
+} // namespace pmill

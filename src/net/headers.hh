@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Wire-format protocol headers: Ethernet, 802.1Q VLAN, ARP, IPv4,
+ * TCP, UDP, ICMP. All structs are packed wire layouts; multi-byte
+ * fields are big-endian and accessed through the byteorder helpers.
+ */
+
+#ifndef PMILL_NET_HEADERS_HH
+#define PMILL_NET_HEADERS_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/net/byteorder.hh"
+
+namespace pmill {
+
+/** EtherType values used by the simulator. */
+enum EtherType : std::uint16_t {
+    kEtherTypeIpv4 = 0x0800,
+    kEtherTypeArp = 0x0806,
+    kEtherTypeVlan = 0x8100,
+};
+
+/** IPv4 protocol numbers used by the simulator. */
+enum IpProto : std::uint8_t {
+    kIpProtoIcmp = 1,
+    kIpProtoTcp = 6,
+    kIpProtoUdp = 17,
+};
+
+/** 48-bit Ethernet MAC address. */
+struct MacAddr {
+    std::array<std::uint8_t, 6> bytes{};
+
+    static MacAddr
+    make(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d,
+         std::uint8_t e, std::uint8_t f)
+    {
+        return MacAddr{{a, b, c, d, e, f}};
+    }
+
+    bool operator==(const MacAddr &o) const { return bytes == o.bytes; }
+    bool operator!=(const MacAddr &o) const { return !(*this == o); }
+
+    std::string to_string() const;
+};
+
+/** IPv4 address stored in host byte order for arithmetic convenience. */
+struct Ipv4Addr {
+    std::uint32_t value = 0;  ///< host byte order
+
+    static constexpr Ipv4Addr
+    make(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+    {
+        return Ipv4Addr{(std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+                        (std::uint32_t(c) << 8) | std::uint32_t(d)};
+    }
+
+    bool operator==(const Ipv4Addr &o) const { return value == o.value; }
+    bool operator!=(const Ipv4Addr &o) const { return value != o.value; }
+    bool operator<(const Ipv4Addr &o) const { return value < o.value; }
+
+    std::string to_string() const;
+};
+
+#pragma pack(push, 1)
+
+/** Ethernet II header (14 bytes). */
+struct EtherHeader {
+    MacAddr dst;
+    MacAddr src;
+    std::uint16_t ether_type_be;
+
+    std::uint16_t ether_type() const { return ntoh16(ether_type_be); }
+    void set_ether_type(std::uint16_t t) { ether_type_be = hton16(t); }
+};
+static_assert(sizeof(EtherHeader) == 14);
+
+/** 802.1Q VLAN tag (4 bytes, follows src MAC). */
+struct VlanHeader {
+    std::uint16_t tci_be;         ///< PCP(3) | DEI(1) | VID(12)
+    std::uint16_t ether_type_be;  ///< encapsulated EtherType
+
+    std::uint16_t tci() const { return ntoh16(tci_be); }
+    void set_tci(std::uint16_t t) { tci_be = hton16(t); }
+    std::uint16_t vlan_id() const { return tci() & 0x0FFF; }
+};
+static_assert(sizeof(VlanHeader) == 4);
+
+/** IPv4 header without options (20 bytes). */
+struct Ipv4Header {
+    std::uint8_t version_ihl;    ///< version(4) | IHL(4)
+    std::uint8_t dscp_ecn;
+    std::uint16_t total_len_be;
+    std::uint16_t id_be;
+    std::uint16_t flags_frag_be;
+    std::uint8_t ttl;
+    std::uint8_t proto;
+    std::uint16_t checksum_be;
+    std::uint32_t src_be;
+    std::uint32_t dst_be;
+
+    std::uint8_t version() const { return version_ihl >> 4; }
+    std::uint8_t ihl() const { return version_ihl & 0x0F; }
+    std::uint32_t header_len() const { return std::uint32_t(ihl()) * 4; }
+    std::uint16_t total_len() const { return ntoh16(total_len_be); }
+    void set_total_len(std::uint16_t l) { total_len_be = hton16(l); }
+    Ipv4Addr src() const { return Ipv4Addr{ntoh32(src_be)}; }
+    Ipv4Addr dst() const { return Ipv4Addr{ntoh32(dst_be)}; }
+    void set_src(Ipv4Addr a) { src_be = hton32(a.value); }
+    void set_dst(Ipv4Addr a) { dst_be = hton32(a.value); }
+};
+static_assert(sizeof(Ipv4Header) == 20);
+
+/** TCP header without options (20 bytes). */
+struct TcpHeader {
+    std::uint16_t src_port_be;
+    std::uint16_t dst_port_be;
+    std::uint32_t seq_be;
+    std::uint32_t ack_be;
+    std::uint8_t data_off;  ///< offset(4) | reserved(4)
+    std::uint8_t flags;
+    std::uint16_t window_be;
+    std::uint16_t checksum_be;
+    std::uint16_t urgent_be;
+
+    std::uint16_t src_port() const { return ntoh16(src_port_be); }
+    std::uint16_t dst_port() const { return ntoh16(dst_port_be); }
+    void set_src_port(std::uint16_t p) { src_port_be = hton16(p); }
+    void set_dst_port(std::uint16_t p) { dst_port_be = hton16(p); }
+    std::uint32_t header_len() const { return std::uint32_t(data_off >> 4) * 4; }
+};
+static_assert(sizeof(TcpHeader) == 20);
+
+/** UDP header (8 bytes). */
+struct UdpHeader {
+    std::uint16_t src_port_be;
+    std::uint16_t dst_port_be;
+    std::uint16_t len_be;
+    std::uint16_t checksum_be;
+
+    std::uint16_t src_port() const { return ntoh16(src_port_be); }
+    std::uint16_t dst_port() const { return ntoh16(dst_port_be); }
+    void set_src_port(std::uint16_t p) { src_port_be = hton16(p); }
+    void set_dst_port(std::uint16_t p) { dst_port_be = hton16(p); }
+    std::uint16_t length() const { return ntoh16(len_be); }
+    void set_length(std::uint16_t l) { len_be = hton16(l); }
+};
+static_assert(sizeof(UdpHeader) == 8);
+
+/** ICMP header (8 bytes, echo layout). */
+struct IcmpHeader {
+    std::uint8_t type;
+    std::uint8_t code;
+    std::uint16_t checksum_be;
+    std::uint16_t id_be;
+    std::uint16_t seq_be;
+};
+static_assert(sizeof(IcmpHeader) == 8);
+
+/** ARP payload for Ethernet/IPv4 (28 bytes). */
+struct ArpHeader {
+    std::uint16_t htype_be;
+    std::uint16_t ptype_be;
+    std::uint8_t hlen;
+    std::uint8_t plen;
+    std::uint16_t oper_be;
+    MacAddr sender_mac;
+    std::uint32_t sender_ip_be;
+    MacAddr target_mac;
+    std::uint32_t target_ip_be;
+};
+static_assert(sizeof(ArpHeader) == 28);
+
+#pragma pack(pop)
+
+inline constexpr std::uint32_t kEtherHeaderLen = sizeof(EtherHeader);
+inline constexpr std::uint32_t kVlanHeaderLen = sizeof(VlanHeader);
+inline constexpr std::uint32_t kIpv4HeaderLen = sizeof(Ipv4Header);
+inline constexpr std::uint32_t kMinFrameLen = 60;    ///< without FCS
+inline constexpr std::uint32_t kMaxFrameLen = 1514;  ///< without FCS
+
+} // namespace pmill
+
+#endif // PMILL_NET_HEADERS_HH

@@ -1,0 +1,192 @@
+#include "src/net/packet_builder.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/log.hh"
+#include "src/net/checksum.hh"
+
+namespace pmill {
+
+namespace {
+
+std::uint32_t
+l4_header_len(std::uint8_t proto)
+{
+    switch (proto) {
+      case kIpProtoTcp: return sizeof(TcpHeader);
+      case kIpProtoUdp: return sizeof(UdpHeader);
+      case kIpProtoIcmp: return sizeof(IcmpHeader);
+      default: return 0;
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+build_frame(const FrameSpec &spec)
+{
+    const std::uint32_t l4_len = l4_header_len(spec.flow.proto);
+    const std::uint32_t min_len =
+        kEtherHeaderLen + kIpv4HeaderLen + l4_len;
+    const std::uint32_t frame_len = std::max(spec.frame_len, min_len);
+
+    std::vector<std::uint8_t> buf(frame_len, 0);
+
+    auto *eth = reinterpret_cast<EtherHeader *>(buf.data());
+    eth->dst = spec.dst_mac;
+    eth->src = spec.src_mac;
+    eth->set_ether_type(kEtherTypeIpv4);
+
+    auto *ip = reinterpret_cast<Ipv4Header *>(buf.data() + kEtherHeaderLen);
+    ip->version_ihl = 0x45;
+    ip->dscp_ecn = 0;
+    const std::uint16_t ip_total =
+        static_cast<std::uint16_t>(frame_len - kEtherHeaderLen);
+    ip->set_total_len(ip_total);
+    ip->id_be = hton16(0x1234);
+    ip->flags_frag_be = hton16(0x4000);  // DF
+    ip->ttl = spec.ttl;
+    ip->proto = spec.flow.proto;
+    ip->checksum_be = 0;
+    ip->set_src(spec.flow.src_ip);
+    ip->set_dst(spec.flow.dst_ip);
+
+    std::uint8_t *l4 = buf.data() + kEtherHeaderLen + kIpv4HeaderLen;
+    const std::uint16_t l4_total =
+        static_cast<std::uint16_t>(ip_total - kIpv4HeaderLen);
+    switch (spec.flow.proto) {
+      case kIpProtoTcp: {
+        auto *tcp = reinterpret_cast<TcpHeader *>(l4);
+        tcp->set_src_port(spec.flow.src_port);
+        tcp->set_dst_port(spec.flow.dst_port);
+        tcp->seq_be = hton32(1);
+        tcp->ack_be = hton32(0);
+        tcp->data_off = spec.good_l4_lengths ? 0x50 : 0x10;  // 20 B vs 4 B
+        tcp->flags = 0x10;  // ACK
+        tcp->window_be = hton16(65535);
+        break;
+      }
+      case kIpProtoUdp: {
+        auto *udp = reinterpret_cast<UdpHeader *>(l4);
+        udp->set_src_port(spec.flow.src_port);
+        udp->set_dst_port(spec.flow.dst_port);
+        udp->set_length(spec.good_l4_lengths
+                            ? l4_total
+                            : static_cast<std::uint16_t>(l4_total + 40));
+        break;
+      }
+      case kIpProtoIcmp: {
+        auto *icmp = reinterpret_cast<IcmpHeader *>(l4);
+        icmp->type = 8;  // echo request
+        icmp->code = 0;
+        icmp->id_be = hton16(spec.flow.src_port);
+        icmp->seq_be = hton16(1);
+        break;
+      }
+      default:
+        break;
+    }
+
+    // Deterministic payload fill so byte-level transformations are
+    // verifiable end to end.
+    for (std::uint32_t i = min_len; i < frame_len; ++i)
+        buf[i] = static_cast<std::uint8_t>(i * 31 + spec.flow.src_port);
+
+    std::uint16_t csum = internet_checksum(
+        reinterpret_cast<std::uint8_t *>(ip), kIpv4HeaderLen);
+    if (!spec.good_l3_checksum)
+        csum = static_cast<std::uint16_t>(csum + 1);
+    ip->checksum_be = hton16(csum);
+    return buf;
+}
+
+std::vector<std::uint8_t>
+build_arp_frame(const MacAddr &src, Ipv4Addr sender, Ipv4Addr target)
+{
+    std::vector<std::uint8_t> buf(kMinFrameLen, 0);
+    auto *eth = reinterpret_cast<EtherHeader *>(buf.data());
+    eth->dst = MacAddr::make(0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF);
+    eth->src = src;
+    eth->set_ether_type(kEtherTypeArp);
+
+    auto *arp = reinterpret_cast<ArpHeader *>(buf.data() + kEtherHeaderLen);
+    arp->htype_be = hton16(1);
+    arp->ptype_be = hton16(kEtherTypeIpv4);
+    arp->hlen = 6;
+    arp->plen = 4;
+    arp->oper_be = hton16(1);  // request
+    arp->sender_mac = src;
+    arp->sender_ip_be = hton32(sender.value);
+    arp->target_ip_be = hton32(target.value);
+    return buf;
+}
+
+FrameView
+parse_frame(std::uint8_t *data, std::uint32_t len)
+{
+    FrameView v;
+    if (len < kEtherHeaderLen)
+        return v;
+    v.eth = reinterpret_cast<EtherHeader *>(data);
+    std::uint32_t off = kEtherHeaderLen;
+    std::uint16_t type = v.eth->ether_type();
+
+    if (type == kEtherTypeVlan) {
+        if (len < off + kVlanHeaderLen)
+            return v;
+        v.vlan = reinterpret_cast<VlanHeader *>(data + off);
+        type = ntoh16(v.vlan->ether_type_be);
+        off += kVlanHeaderLen;
+    }
+
+    if (type != kEtherTypeIpv4 || len < off + kIpv4HeaderLen)
+        return v;
+    v.ip = reinterpret_cast<Ipv4Header *>(data + off);
+    v.l3_offset = off;
+    if (v.ip->version() != 4 || v.ip->header_len() < kIpv4HeaderLen ||
+        len < off + v.ip->header_len())
+        return v;
+
+    off += v.ip->header_len();
+    v.l4_offset = off;
+    switch (v.ip->proto) {
+      case kIpProtoTcp:
+        if (len >= off + sizeof(TcpHeader))
+            v.tcp = reinterpret_cast<TcpHeader *>(data + off);
+        break;
+      case kIpProtoUdp:
+        if (len >= off + sizeof(UdpHeader))
+            v.udp = reinterpret_cast<UdpHeader *>(data + off);
+        break;
+      case kIpProtoIcmp:
+        if (len >= off + sizeof(IcmpHeader))
+            v.icmp = reinterpret_cast<IcmpHeader *>(data + off);
+        break;
+      default:
+        break;
+    }
+    return v;
+}
+
+FiveTuple
+extract_tuple(const std::uint8_t *data, std::uint32_t len)
+{
+    FrameView v = parse_frame(const_cast<std::uint8_t *>(data), len);
+    FiveTuple t;
+    if (!v.ip)
+        return t;
+    t.src_ip = v.ip->src();
+    t.dst_ip = v.ip->dst();
+    t.proto = v.ip->proto;
+    if (v.tcp) {
+        t.src_port = v.tcp->src_port();
+        t.dst_port = v.tcp->dst_port();
+    } else if (v.udp) {
+        t.src_port = v.udp->src_port();
+        t.dst_port = v.udp->dst_port();
+    }
+    return t;
+}
+
+} // namespace pmill

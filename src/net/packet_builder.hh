@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Construction and parsing of raw wire-format frames used by the
+ * traffic generators and tests.
+ */
+
+#ifndef PMILL_NET_PACKET_BUILDER_HH
+#define PMILL_NET_PACKET_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/flow.hh"
+#include "src/net/headers.hh"
+
+namespace pmill {
+
+/** Parameters for synthesizing one frame. */
+struct FrameSpec {
+    MacAddr src_mac = MacAddr::make(0x02, 0, 0, 0, 0, 0x01);
+    MacAddr dst_mac = MacAddr::make(0x02, 0, 0, 0, 0, 0x02);
+    FiveTuple flow{Ipv4Addr::make(10, 0, 0, 1), Ipv4Addr::make(192, 168, 1, 1),
+                   1000, 80, kIpProtoTcp};
+    std::uint32_t frame_len = 64;  ///< total L2 frame length w/o FCS
+    std::uint8_t ttl = 64;
+    bool good_l3_checksum = true;
+    bool good_l4_lengths = true;
+};
+
+/**
+ * Build an Ethernet/IPv4/{TCP,UDP,ICMP} frame of exactly
+ * spec.frame_len bytes (>= minimum for the protocol stack), with a
+ * deterministic payload fill and a correct IPv4 header checksum
+ * unless spec.good_l3_checksum is false.
+ */
+std::vector<std::uint8_t> build_frame(const FrameSpec &spec);
+
+/** Build a minimal ARP request frame. */
+std::vector<std::uint8_t> build_arp_frame(const MacAddr &src,
+                                          Ipv4Addr sender, Ipv4Addr target);
+
+/**
+ * Parsed view over a frame's headers (pointers into the original
+ * buffer; no copies). Invalid/missing layers are nullptr.
+ */
+struct FrameView {
+    EtherHeader *eth = nullptr;
+    VlanHeader *vlan = nullptr;
+    Ipv4Header *ip = nullptr;
+    TcpHeader *tcp = nullptr;
+    UdpHeader *udp = nullptr;
+    IcmpHeader *icmp = nullptr;
+    std::uint32_t l3_offset = 0;
+    std::uint32_t l4_offset = 0;
+};
+
+/** Parse the layer structure of @p len bytes at @p data. */
+FrameView parse_frame(std::uint8_t *data, std::uint32_t len);
+
+/** Extract the 5-tuple of an IPv4 frame; zeroed tuple for non-IP. */
+FiveTuple extract_tuple(const std::uint8_t *data, std::uint32_t len);
+
+} // namespace pmill
+
+#endif // PMILL_NET_PACKET_BUILDER_HH

@@ -1,0 +1,199 @@
+#include "src/nic/nic_device.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "src/common/log.hh"
+#include "src/net/packet_builder.hh"
+
+namespace pmill {
+
+NicDevice::NicDevice(const NicConfig &cfg, CacheHierarchy &caches,
+                     SimMemory &mem)
+    : cfg_(cfg), caches_(caches)
+{
+    PMILL_ASSERT(cfg.num_queues >= 1, "NIC needs at least one queue");
+    queue_caches_.assign(cfg.num_queues, &caches);
+    queues_.reserve(cfg.num_queues);
+    for (std::uint32_t q = 0; q < cfg.num_queues; ++q) {
+        queues_.emplace_back(cfg.rx_ring_size, cfg.tx_ring_size);
+        Queue &qu = queues_.back();
+        qu.cq_mem = mem.alloc(std::uint64_t(cfg.rx_ring_size) * kCqeBytes,
+                              kCacheLineBytes, Region::kDeviceRing);
+        qu.rxd_mem = mem.alloc(std::uint64_t(cfg.rx_ring_size) * kDescBytes,
+                               kCacheLineBytes, Region::kDeviceRing);
+        qu.txd_mem = mem.alloc(std::uint64_t(cfg.tx_ring_size) * kDescBytes,
+                               kCacheLineBytes, Region::kDeviceRing);
+    }
+}
+
+void
+NicDevice::bind_queue_cache(std::uint32_t queue, CacheHierarchy *caches)
+{
+    PMILL_ASSERT(queue < queue_caches_.size(), "bad queue");
+    queue_caches_[queue] = caches;
+}
+
+std::uint32_t
+NicDevice::rss_queue(const std::uint8_t *frame, std::uint32_t len) const
+{
+    if (cfg_.num_queues == 1)
+        return 0;
+    FiveTuple t = extract_tuple(frame, len);
+    return rss_hash(t) % cfg_.num_queues;
+}
+
+bool
+NicDevice::deliver(const std::uint8_t *frame, std::uint32_t len, TimeNs now)
+{
+    const std::uint32_t qi = rss_queue(frame, len);
+    Queue &q = queues_[qi];
+
+    if (q.rx_free.empty()) {
+        ++stats_.rx_drops_no_desc;
+        return false;
+    }
+    if (q.completions.full()) {
+        ++stats_.rx_drops_pcie;
+        return false;
+    }
+
+    CacheHierarchy &qcache = *queue_caches_[qi];
+    // The NIC fetches the posted descriptor over PCIe.
+    qcache.access(rx_desc_addr(qi, q.rx_free.next_pop_slot()), kDescBytes,
+                  AccessType::kDevRead);
+    RxDescriptor desc;
+    q.rx_free.pop(desc);
+
+    // PCIe DMA of the frame (the RX direction pipe serializes).
+    const double pcie_ns =
+        static_cast<double>(len + cfg_.pcie_pkt_overhead_bytes) /
+        cfg_.pcie_bytes_per_sec * 1e9;
+    const TimeNs dma_done = std::max(now, pcie_rx_free_) + pcie_ns;
+    pcie_rx_free_ = dma_done;
+
+    // Device writes: frame payload into the posted buffer, then the
+    // CQE. Both land in the LLC DDIO ways.
+    std::memcpy(desc.buf_host, frame, len);
+    qcache.access(desc.buf_addr, len, AccessType::kDevWrite);
+
+    Cqe cqe;
+    cqe.buf_addr = desc.buf_addr;
+    cqe.buf_host = desc.buf_host;
+    cqe.len = len;
+    cqe.arrival_ns = dma_done;
+    FrameView view = parse_frame(desc.buf_host, len);
+    if (view.ip) {
+        cqe.flags |= 1;
+        FiveTuple t = extract_tuple(desc.buf_host, len);
+        cqe.rss_hash = rss_hash(t);
+    }
+    if (view.vlan)
+        cqe.vlan_tci = view.vlan->tci();
+
+    // The CQE line cycles through the CQ ring region.
+    cqe.cqe_addr = cq_ring_addr(qi, q.completions.next_push_slot());
+    qcache.access(cqe.cqe_addr, kCqeBytes, AccessType::kDevWrite);
+    const bool pushed = q.completions.push(cqe);
+    PMILL_ASSERT(pushed, "completion ring overflow despite check");
+
+    ++stats_.rx_frames;
+    stats_.rx_bytes += len;
+    return true;
+}
+
+std::uint32_t
+NicDevice::rx_poll(std::uint32_t queue, TimeNs now, Cqe *out,
+                   std::uint32_t max)
+{
+    Queue &q = queues_[queue];
+    std::uint32_t n = 0;
+    while (n < max && !q.completions.empty() &&
+           q.completions.front().arrival_ns <= now) {
+        q.completions.pop(out[n]);
+        ++n;
+    }
+    return n;
+}
+
+TimeNs
+NicDevice::next_cqe_time(std::uint32_t queue) const
+{
+    const Queue &q = queues_[queue];
+    if (q.completions.empty())
+        return std::numeric_limits<double>::infinity();
+    return q.completions.front().arrival_ns;
+}
+
+bool
+NicDevice::replenish(std::uint32_t queue, const RxDescriptor &desc)
+{
+    return queues_[queue].rx_free.push(desc);
+}
+
+std::size_t
+NicDevice::rx_free_descs(std::uint32_t queue) const
+{
+    return queues_[queue].rx_free.size();
+}
+
+bool
+NicDevice::post_tx(std::uint32_t queue, const TxDescriptor &desc)
+{
+    return queues_[queue].tx_pending.push(desc);
+}
+
+void
+NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out)
+{
+    // Round-robin across queues while any head frame can finish
+    // serializing by `now`.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto &q : queues_) {
+            if (q.tx_pending.empty())
+                continue;
+            const TxDescriptor &head = q.tx_pending.front();
+            const double pcie_ns =
+                static_cast<double>(head.len + cfg_.pcie_pkt_overhead_bytes) /
+                cfg_.pcie_bytes_per_sec * 1e9;
+            const TimeNs dma_done =
+                std::max(pcie_tx_free_, head.post_ns) + pcie_ns;
+            const TimeNs wire_start = std::max(dma_done, wire_tx_free_);
+            const TimeNs departure = wire_start + wire_time_ns(head.len);
+            if (departure > now)
+                continue;
+
+            // Device reads the TX descriptor, then the frame bytes
+            // (from LLC when DDIO kept them resident, else DRAM).
+            const std::uint32_t qi =
+                static_cast<std::uint32_t>(&q - queues_.data());
+            CacheHierarchy &qc = *queue_caches_[qi];
+            qc.access(tx_desc_addr(qi, q.tx_pending.next_pop_slot()),
+                      kDescBytes, AccessType::kDevRead);
+            qc.access(head.buf_addr, head.len, AccessType::kDevRead);
+
+            TxCompletion c;
+            c.buf_addr = head.buf_addr;
+            c.buf_host = head.buf_host;
+            c.len = head.len;
+            c.arrival_ns = head.arrival_ns;
+            c.departure_ns = departure;
+            c.queue = qi;
+            out.push_back(c);
+
+            pcie_tx_free_ = dma_done;
+            wire_tx_free_ = departure;
+            ++stats_.tx_frames;
+            stats_.tx_bytes += head.len;
+
+            TxDescriptor dropped;
+            q.tx_pending.pop(dropped);
+            progress = true;
+        }
+    }
+}
+
+} // namespace pmill

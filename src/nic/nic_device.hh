@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Simulated 100-Gbps NIC (modeled after a Mellanox ConnectX-5 used
+ * with a DPDK poll-mode driver).
+ *
+ * The device owns, per RX/TX queue:
+ *  - an RX descriptor ring of driver-posted free data buffers,
+ *  - a completion queue whose 64-B CQEs the NIC writes via DDIO,
+ *  - a TX descriptor ring drained at wire speed.
+ *
+ * Frame DMA and CQE writes go through the cache hierarchy as device
+ * writes (allocating into the LLC's DDIO ways only), so the paper's
+ * locality arguments about metadata and buffer working sets are
+ * physically represented. PCIe is modeled as two independent
+ * direction pipes with a per-packet overhead, which is what caps
+ * large-packet pps in Fig. 6.
+ */
+
+#ifndef PMILL_NIC_NIC_DEVICE_HH
+#define PMILL_NIC_NIC_DEVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ring.hh"
+#include "src/common/types.hh"
+#include "src/mem/cache.hh"
+#include "src/mem/sim_memory.hh"
+#include "src/net/flow.hh"
+
+namespace pmill {
+
+/** Wire-level framing overhead: preamble(8) + IFG(12) + FCS(4). */
+inline constexpr std::uint32_t kWireOverheadBytes = 24;
+
+/** Completion-queue entry (accounted as one 64-B line, like mlx5). */
+struct Cqe {
+    Addr buf_addr = 0;          ///< data buffer the frame was DMAed to
+    std::uint8_t *buf_host = nullptr;
+    std::uint32_t len = 0;      ///< frame length (no FCS)
+    std::uint32_t rss_hash = 0;
+    std::uint16_t vlan_tci = 0;
+    std::uint16_t flags = 0;    ///< bit0: L3 is IPv4
+    TimeNs arrival_ns = 0;      ///< wire arrival completion time
+    Addr cqe_addr = 0;          ///< sim address of this CQE slot (for
+                                ///< the PMD's own load accounting)
+};
+
+/** Accounted size of one CQE (one cache line). */
+inline constexpr std::uint32_t kCqeBytes = 64;
+
+/** A free buffer posted by the driver for reception. */
+struct RxDescriptor {
+    Addr buf_addr = 0;
+    std::uint8_t *buf_host = nullptr;
+};
+
+/** A to-be-transmitted frame posted by the driver. */
+struct TxDescriptor {
+    Addr buf_addr = 0;
+    std::uint8_t *buf_host = nullptr;
+    std::uint32_t len = 0;
+    TimeNs arrival_ns = 0;  ///< original wire arrival (for latency)
+    TimeNs post_ns = 0;     ///< when the core posted the descriptor
+};
+
+/** Completion of a transmitted frame (buffer ownership returns). */
+struct TxCompletion {
+    Addr buf_addr = 0;
+    std::uint8_t *buf_host = nullptr;
+    std::uint32_t len = 0;
+    TimeNs arrival_ns = 0;
+    TimeNs departure_ns = 0;  ///< wire serialization end
+    std::uint32_t queue = 0;  ///< TX queue the frame was posted on
+};
+
+/** Static NIC parameters. */
+struct NicConfig {
+    std::uint32_t num_queues = 1;
+    std::uint32_t rx_ring_size = 2048;  ///< descriptors per RX queue
+    std::uint32_t tx_ring_size = 1024;
+    double link_gbps = 100.0;
+    /// Effective PCIe payload bandwidth per direction (bytes/s).
+    double pcie_bytes_per_sec = 12.5e9;
+    /// Per-packet PCIe cost: TLP headers + descriptor/doorbell DMA.
+    std::uint32_t pcie_pkt_overhead_bytes = 30;
+};
+
+/** Drop/packet counters per device. */
+struct NicStats {
+    std::uint64_t rx_frames = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t rx_drops_no_desc = 0;  ///< RX ring underrun (imissed)
+    std::uint64_t rx_drops_pcie = 0;     ///< PCIe backlog overflow
+    std::uint64_t tx_frames = 0;
+    std::uint64_t tx_bytes = 0;
+};
+
+/**
+ * The simulated device. The engine calls deliver() for wire arrivals
+ * and drain_tx() to collect transmitted frames; the PMDs call
+ * rx_poll()/replenish()/post_tx().
+ */
+class NicDevice {
+  public:
+    /**
+     * @param mem Simulated memory the descriptor/completion rings are
+     *        placed in (device-ring region).
+     */
+    NicDevice(const NicConfig &cfg, CacheHierarchy &caches, SimMemory &mem);
+
+    /**
+     * Route queue @p queue 's DMA traffic into @p caches — used in
+     * multicore runs where each core's hierarchy models its slice of
+     * the socket (DESIGN.md documents the LLC-partitioning
+     * approximation).
+     */
+    void bind_queue_cache(std::uint32_t queue, CacheHierarchy *caches);
+
+    const NicConfig &config() const { return cfg_; }
+    const NicStats &stats() const { return stats_; }
+    void stats_reset() { stats_ = NicStats{}; }
+
+    /** Wire time (ns) to serialize a frame of @p len bytes. */
+    double
+    wire_time_ns(std::uint32_t len) const
+    {
+        return static_cast<double>((len + kWireOverheadBytes) * 8) /
+               cfg_.link_gbps;
+    }
+
+    /**
+     * A frame finished arriving on the wire at @p now. The NIC DMAs
+     * it into a posted buffer of the RSS-selected queue and writes a
+     * CQE, both as device writes through the cache hierarchy.
+     * @return false when dropped (no descriptor or PCIe backlog).
+     */
+    bool deliver(const std::uint8_t *frame, std::uint32_t len, TimeNs now);
+
+    /**
+     * Driver-side: pop up to @p max completed CQEs (arrival time
+     * <= @p now) from @p queue into @p out. Device-side bookkeeping
+     * only; the PMD separately accounts its own CQE loads.
+     */
+    std::uint32_t rx_poll(std::uint32_t queue, TimeNs now, Cqe *out,
+                          std::uint32_t max);
+
+    /** Peek the arrival time of the next pending CQE (or +inf). */
+    TimeNs next_cqe_time(std::uint32_t queue) const;
+
+    /** Driver-side: post a free buffer to @p queue 's RX ring. */
+    bool replenish(std::uint32_t queue, const RxDescriptor &desc);
+
+    /** Free descriptor count of @p queue (for tests/diagnostics). */
+    std::size_t rx_free_descs(std::uint32_t queue) const;
+
+    /** Driver-side: enqueue a frame for transmission. */
+    bool post_tx(std::uint32_t queue, const TxDescriptor &desc);
+
+    /**
+     * Engine-side: serialize pending TX frames onto the wire up to
+     * time @p now. DMA reads of frame data are accounted as device
+     * reads. Completions (with departure timestamps) are appended to
+     * @p out; buffer ownership returns to the caller.
+     */
+    void drain_tx(TimeNs now, std::vector<TxCompletion> &out);
+
+    /** RSS queue that would be selected for @p frame. */
+    std::uint32_t rss_queue(const std::uint8_t *frame,
+                            std::uint32_t len) const;
+
+    /** Sim address of CQE slot @p slot of @p queue. */
+    Addr
+    cq_ring_addr(std::uint32_t queue, std::size_t slot) const
+    {
+        return queues_[queue].cq_mem.addr + slot * kCqeBytes;
+    }
+
+    /** Sim address of RX descriptor slot @p slot of @p queue. */
+    Addr
+    rx_desc_addr(std::uint32_t queue, std::size_t slot) const
+    {
+        return queues_[queue].rxd_mem.addr + slot * kDescBytes;
+    }
+
+    /** Slot the next replenish() of @p queue will occupy. */
+    std::size_t
+    rx_next_replenish_slot(std::uint32_t queue) const
+    {
+        return queues_[queue].rx_free.next_push_slot();
+    }
+
+    /** Sim address of TX descriptor slot @p slot of @p queue. */
+    Addr
+    tx_desc_addr(std::uint32_t queue, std::size_t slot) const
+    {
+        return queues_[queue].txd_mem.addr + slot * kDescBytes;
+    }
+
+    /** Slot the next post_tx() of @p queue will occupy. */
+    std::size_t
+    tx_next_post_slot(std::uint32_t queue) const
+    {
+        return queues_[queue].tx_pending.next_push_slot();
+    }
+
+    /** Accounted size of one RX/TX hardware descriptor. */
+    static constexpr std::uint32_t kDescBytes = 16;
+
+  private:
+    struct Queue {
+        Ring<RxDescriptor> rx_free;
+        Ring<Cqe> completions;
+        Ring<TxDescriptor> tx_pending;
+        MemHandle cq_mem;   ///< CQE ring backing (ring_size x 64 B)
+        MemHandle rxd_mem;  ///< RX descriptor ring backing
+        MemHandle txd_mem;  ///< TX descriptor ring backing
+        Queue(std::uint32_t rx_size, std::uint32_t tx_size)
+            : rx_free(rx_size), completions(rx_size), tx_pending(tx_size)
+        {}
+    };
+
+    NicConfig cfg_;
+    CacheHierarchy &caches_;
+    std::vector<CacheHierarchy *> queue_caches_;
+    std::vector<Queue> queues_;
+    NicStats stats_;
+    TimeNs pcie_rx_free_ = 0;  ///< next instant the RX PCIe pipe frees
+    TimeNs pcie_tx_free_ = 0;
+    TimeNs wire_tx_free_ = 0;  ///< next instant the TX wire frees
+};
+
+} // namespace pmill
+
+#endif // PMILL_NIC_NIC_DEVICE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cycle/instruction cost constants of the simulated DUT core.
+ *
+ * Calibration notes (see DESIGN.md §5): the model reproduces the
+ * paper's testbed shape, where a packet's service time splits into a
+ * core-frequency-scaled component (compute + L1/L2) and a fixed-ns
+ * uncore component (LLC/DRAM, overlapped by out-of-order execution
+ * and prefetching — hence mem_overlap < 1). The dispatch ladder
+ * (virtual -> direct -> inlined) encodes what click-devirtualize and
+ * the static-graph embedding remove at each element boundary.
+ */
+
+#ifndef PMILL_RUNTIME_COST_MODEL_HH
+#define PMILL_RUNTIME_COST_MODEL_HH
+
+namespace pmill {
+
+/** All tunable cost constants, in one place. */
+struct CostModel {
+    /// @name Per-element-boundary dispatch cost, per packet.
+    /// A batch amortizes the call itself, but every packet pays the
+    /// optimization barrier (spills, unpropagated constants) that a
+    /// virtual boundary imposes.
+    /// @{
+    double vcall_cycles = 5.5;      ///< vanilla: virtual call boundary
+    double direct_call_cycles = 4.5;  ///< click-devirtualize: direct call
+    double inlined_call_cycles = 1.5; ///< static graph: fully inlined
+    /// @}
+
+    /// Extra multiplier on dispatch/compute when LTO is enabled
+    /// (cross-TU inlining of small helpers).
+    double lto_compute_scale = 0.93;
+
+    /// Cycles to read one embedded-constant parameter after constant
+    /// propagation (vs. a real state load when not embedded).
+    double const_param_cycles = 0.25;
+
+    /// Fixed per-packet driver work shared by every PMD flavour:
+    /// descriptor decode, completion bookkeeping, doorbell batching.
+    double driver_per_packet_cycles = 34.0;
+
+    /// FastClick's fixed per-packet framework overhead common to all
+    /// metadata models: batch list manipulation, Packet method-call
+    /// glue, context bookkeeping. Dominates light elements and makes
+    /// the simple forwarder cost close to the router's, as measured.
+    double framework_per_packet_cycles = 30.0;
+
+    /// Cost of one poll that found no packets.
+    double poll_empty_cycles = 40.0;
+
+    /// Fixed per-burst bookkeeping (loop setup, prefetch issue).
+    double per_burst_cycles = 30.0;
+
+    /// Fraction of uncore (LLC/DRAM/TLB) latency that is *not* hidden
+    /// by memory-level parallelism and prefetching.
+    double mem_overlap = 0.15;
+
+    /// Instructions charged per accounted memory access (address
+    /// generation + the access + its consumer).
+    double instr_per_access = 7.0;
+
+    /// The vanilla dynamic graph chases config-time heap pointers
+    /// (batch bookkeeping, allocator metadata, element references);
+    /// the reuse distance of that region exceeds the LLC under
+    /// streaming I/O. Scales with graph size: lines touched per
+    /// packet per processing element (endpoints excluded).
+    double heap_indirection_lines_per_element = 0.15;
+};
+
+} // namespace pmill
+
+#endif // PMILL_RUNTIME_COST_MODEL_HH

@@ -1,0 +1,339 @@
+#include "src/runtime/engine.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/log.hh"
+
+namespace pmill {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ExecCounters
+counters_delta(const ExecCounters &a, const ExecCounters &b)
+{
+    ExecCounters d;
+    d.compute_cycles = a.compute_cycles - b.compute_cycles;
+    d.access_cycles = a.access_cycles - b.access_cycles;
+    d.wall_ns = a.wall_ns - b.wall_ns;
+    d.instructions = a.instructions - b.instructions;
+    d.accesses = a.accesses - b.accesses;
+    return d;
+}
+
+void
+mem_stats_add(MemStats &into, const MemStats &s)
+{
+    into.loads += s.loads;
+    into.stores += s.stores;
+    into.l1_load_misses += s.l1_load_misses;
+    into.l2_load_misses += s.l2_load_misses;
+    into.llc_load_misses += s.llc_load_misses;
+    into.l1_store_misses += s.l1_store_misses;
+    into.l2_store_misses += s.l2_store_misses;
+    into.llc_store_misses += s.llc_store_misses;
+    into.dev_writes += s.dev_writes;
+    into.dev_reads += s.dev_reads;
+    into.dev_reads_dram += s.dev_reads_dram;
+    into.tlb_misses += s.tlb_misses;
+    into.prefetches += s.prefetches;
+}
+
+void
+exec_add(ExecCounters &into, const ExecCounters &s)
+{
+    into.compute_cycles += s.compute_cycles;
+    into.access_cycles += s.access_cycles;
+    into.wall_ns += s.wall_ns;
+    into.instructions += s.instructions;
+    into.accesses += s.accesses;
+}
+
+} // namespace
+
+Engine::Engine(const MachineConfig &machine, const std::string &config_text,
+               const PipelineOpts &opts, Trace trace)
+    : machine_(machine), opts_(opts), trace_(std::move(trace))
+{
+    PMILL_ASSERT(!trace_.empty(), "engine needs a nonempty trace");
+    PMILL_ASSERT(machine.num_cores >= 1 && machine.num_nics >= 1,
+                 "need at least one core and one NIC");
+    PMILL_ASSERT(machine.num_cores == 1 || machine.num_nics == 1,
+                 "multicore runs use a single NIC (RSS)");
+
+    mem_ = std::make_unique<SimMemory>();
+
+    // Cores: private hierarchy (LLC statically partitioned — see
+    // DESIGN.md), private ExecContext, private pipeline instance
+    // (thread-local elements, flows partitioned by RSS).
+    for (std::uint32_t c = 0; c < machine.num_cores; ++c) {
+        auto core = std::make_unique<Core>();
+        core->caches = std::make_unique<CacheHierarchy>(machine.cache);
+        core->ctx = std::make_unique<ExecContext>(
+            *core->caches, machine.cost, opts, machine.freq_ghz);
+        std::string err;
+        core->pipe = Pipeline::build(config_text, *mem_, opts, &err);
+        if (!core->pipe)
+            fatal("pipeline build failed: %s", err.c_str());
+        cores_.push_back(std::move(core));
+    }
+
+    // NICs: one queue per core when a single NIC fans out via RSS.
+    NicConfig nc = machine.nic;
+    nc.num_queues = machine.num_nics == 1 ? machine.num_cores : 1;
+    queue_dp_.resize(machine.num_nics);
+    for (std::uint32_t n = 0; n < machine.num_nics; ++n) {
+        nics_.push_back(std::make_unique<NicDevice>(
+            nc, *cores_[0]->caches, *mem_));
+        queue_dp_[n].resize(nc.num_queues, nullptr);
+    }
+
+    DatapathConfig dcfg;
+    dcfg.burst = opts.burst;
+
+    if (machine.num_nics == 1) {
+        // queue q -> core q.
+        for (std::uint32_t q = 0; q < nc.num_queues; ++q) {
+            Core &core = *cores_[q];
+            nics_[0]->bind_queue_cache(q, core.caches.get());
+            BoundQueue bq;
+            bq.nic = 0;
+            bq.queue = q;
+            bq.dp = make_datapath(opts.model, *nics_[0], *mem_,
+                                  core.pipe->layout(), q, dcfg);
+            queue_dp_[0][q] = bq.dp.get();
+            core.dps.push_back(std::move(bq));
+        }
+    } else {
+        // All NICs polled by core 0 (the paper's 200-Gbps setup).
+        Core &core = *cores_[0];
+        for (std::uint32_t n = 0; n < machine.num_nics; ++n) {
+            nics_[n]->bind_queue_cache(0, core.caches.get());
+            BoundQueue bq;
+            bq.nic = n;
+            bq.queue = 0;
+            bq.dp = make_datapath(opts.model, *nics_[n], *mem_,
+                                  core.pipe->layout(), 0, dcfg);
+            queue_dp_[n][0] = bq.dp.get();
+            core.dps.push_back(std::move(bq));
+        }
+    }
+
+    for (auto &core : cores_)
+        for (auto &bq : core->dps)
+            bq.dp->setup();
+
+    // Let elements with large data structures reach steady-state
+    // residency before timing starts.
+    for (auto &core : cores_)
+        for (Element *e : core->pipe->elements())
+            e->warm_caches(*core->caches);
+
+    gens_.resize(machine.num_nics);
+}
+
+Engine::~Engine() = default;
+
+void
+Engine::deliver_next(std::uint32_t nic_idx)
+{
+    Generator &gen = gens_[nic_idx];
+    NicDevice &nic = *nics_[nic_idx];
+
+    const std::uint8_t *frame = trace_.data(gen.cursor);
+    const std::uint32_t len = trace_.len(gen.cursor);
+    gen.cursor = (gen.cursor + 1) % trace_.size();
+
+    const TimeNs done = gen.next_start + nic.wire_time_ns(len);
+    nic.deliver(frame, len, done);
+
+    // Next frame starts after this one's share of the offered rate.
+    const double wire_bits =
+        static_cast<double>((len + kWireOverheadBytes) * 8);
+    gen.next_start += wire_bits / offered_gbps_;
+}
+
+void
+Engine::step_core(Core &core)
+{
+    ExecContext &ctx = *core.ctx;
+    bool any = false;
+
+    for (std::size_t k = 0; k < core.dps.size(); ++k) {
+        BoundQueue &bq =
+            core.dps[(core.rr_cursor + k) % core.dps.size()];
+        PacketBatch batch;
+        const std::uint32_t n = bq.dp->rx(core.clock, batch, ctx);
+        if (n == 0)
+            continue;
+        any = true;
+        ctx.on_compute(ctx.cost().per_burst_cycles, 20);
+        core.pipe->process(batch, ctx);
+        // Post time includes the processing the core just performed.
+        const TimeNs post = core.clock +
+                            (ctx.elapsed_ns() - core.last_elapsed);
+        bq.dp->tx(batch, post, ctx);
+    }
+    core.rr_cursor = (core.rr_cursor + 1) %
+                     static_cast<std::uint32_t>(core.dps.size());
+
+    if (!any)
+        ctx.on_compute(ctx.cost().poll_empty_cycles, 10);
+
+    const TimeNs elapsed = ctx.elapsed_ns();
+    const TimeNs dt = elapsed - core.last_elapsed;
+    core.last_elapsed = elapsed;
+    PMILL_ASSERT(dt > 0, "core made no progress");
+    core.clock += dt;
+
+    if (!any) {
+        // Skip ahead to the next completion if the queues are dry
+        // (busy-polling consumes no simulated events we care about).
+        TimeNs next = kInf;
+        for (auto &bq : core.dps)
+            next = std::min(next,
+                            nics_[bq.nic]->next_cqe_time(bq.queue));
+        if (next > core.clock && next < kInf)
+            core.clock = next;
+    }
+}
+
+void
+Engine::drain_all_tx(TimeNs now)
+{
+    for (std::uint32_t n = 0; n < nics_.size(); ++n) {
+        tx_scratch_.clear();
+        nics_[n]->drain_tx(now, tx_scratch_);
+        for (const TxCompletion &c : tx_scratch_) {
+            queue_dp_[n][c.queue]->on_tx_complete(c);
+            if (measuring_) {
+                ++tx_pkts_;
+                tx_wire_bits_ += (c.len + kWireOverheadBytes) * 8ull;
+                tx_frame_bits_ += c.len * 8ull;
+                latency_->record((c.departure_ns - c.arrival_ns) / 1000.0);
+                if (tx_capture_)
+                    tx_capture_(c.buf_host, c.len);
+            }
+        }
+    }
+}
+
+RunResult
+Engine::run(const RunConfig &rc)
+{
+    offered_gbps_ =
+        std::min(rc.offered_gbps, machine_.nic.link_gbps);
+    PMILL_ASSERT(offered_gbps_ > 0, "offered load must be positive");
+
+    latency_ = std::make_unique<Histogram>(rc.latency_range_us, 262144);
+    const TimeNs warm_end = rc.warmup_us * 1000.0;
+    const TimeNs end = warm_end + rc.duration_us * 1000.0;
+
+    measuring_ = false;
+    tx_pkts_ = 0;
+    tx_wire_bits_ = tx_frame_bits_ = 0;
+
+    std::vector<ExecCounters> exec_base(cores_.size());
+    std::vector<MemStats> mem_base(cores_.size());
+    std::uint64_t drops_base = 0;
+
+    auto maybe_start_measuring = [&](TimeNs t) {
+        if (measuring_ || t < warm_end)
+            return;
+        measuring_ = true;
+        for (std::size_t c = 0; c < cores_.size(); ++c) {
+            exec_base[c] = cores_[c]->ctx->counters();
+            mem_base[c] = cores_[c]->caches->stats();
+        }
+        drops_base = 0;
+        for (auto &nic : nics_)
+            drops_base += nic->stats().rx_drops_no_desc +
+                          nic->stats().rx_drops_pcie;
+        latency_->clear();
+        tx_pkts_ = 0;
+        tx_wire_bits_ = tx_frame_bits_ = 0;
+    };
+
+    const TimeNs gen_stop = rc.generator_stop_us > 0
+                                ? warm_end + rc.generator_stop_us * 1000.0
+                                : kInf;
+
+    while (true) {
+        TimeNs next_arrival = kInf;
+        std::uint32_t arrival_nic = 0;
+        for (std::uint32_t n = 0; n < gens_.size(); ++n) {
+            if (gens_[n].next_start < next_arrival &&
+                gens_[n].next_start < gen_stop) {
+                next_arrival = gens_[n].next_start;
+                arrival_nic = n;
+            }
+        }
+        TimeNs next_core = kInf;
+        std::uint32_t core_idx = 0;
+        for (std::uint32_t c = 0; c < cores_.size(); ++c) {
+            if (cores_[c]->clock < next_core) {
+                next_core = cores_[c]->clock;
+                core_idx = c;
+            }
+        }
+
+        const TimeNs t = std::min(next_arrival, next_core);
+        if (t >= end)
+            break;
+        maybe_start_measuring(t);
+
+        if (next_arrival <= next_core)
+            deliver_next(arrival_nic);
+        else
+            step_core(*cores_[core_idx]);
+
+        drain_all_tx(t);
+    }
+    drain_all_tx(end);
+
+    RunResult r;
+    r.duration_ns = end - warm_end;
+    r.tx_pkts = tx_pkts_;
+    r.throughput_gbps = static_cast<double>(tx_wire_bits_) / r.duration_ns;
+    r.goodput_gbps = static_cast<double>(tx_frame_bits_) / r.duration_ns;
+    r.mpps = static_cast<double>(tx_pkts_) / r.duration_ns * 1000.0;
+    r.mean_latency_us = latency_->mean();
+    r.median_latency_us = latency_->percentile(0.5);
+    r.p99_latency_us = latency_->percentile(0.99);
+
+    std::uint64_t drops = 0;
+    for (auto &nic : nics_)
+        drops += nic->stats().rx_drops_no_desc + nic->stats().rx_drops_pcie;
+    r.rx_drops = drops - drops_base;
+
+    double instr = 0, cycles = 0;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        ExecCounters d =
+            counters_delta(cores_[c]->ctx->counters(), exec_base[c]);
+        exec_add(r.exec, d);
+        MemStats md = cores_[c]->caches->stats() - mem_base[c];
+        mem_stats_add(r.mem, md);
+        instr += d.instructions;
+        cycles += d.total_cycles(machine_.freq_ghz);
+    }
+    r.ipc = cycles > 0 ? instr / cycles : 0;
+    const double windows_100ms = r.duration_ns / 1e8;
+    r.llc_kloads_per_100ms =
+        static_cast<double>(r.mem.llc_loads()) / windows_100ms / 1000.0;
+    r.llc_kmisses_per_100ms =
+        static_cast<double>(r.mem.llc_load_misses) / windows_100ms / 1000.0;
+    return r;
+}
+
+RunResult
+run_experiment(const MachineConfig &machine, const std::string &config_text,
+               const PipelineOpts &opts, const Trace &trace,
+               const RunConfig &rc)
+{
+    Engine engine(machine, config_text, opts, trace);
+    return engine.run(rc);
+}
+
+} // namespace pmill

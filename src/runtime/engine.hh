@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The testbed engine: a discrete-event simulation of the paper's
+ * experimental setup — a packet generator driving a Device Under
+ * Test over 100-Gbps link(s), with the DUT running an element
+ * pipeline on one or more cores.
+ *
+ * Topologies covered:
+ *  - 1 NIC / 1 core (most figures),
+ *  - 2 NICs / 1 core (Fig. 5b, the >100 Gbps X-Change result),
+ *  - 1 NIC / k cores with RSS (Fig. 10, multicore NAT).
+ */
+
+#ifndef PMILL_RUNTIME_ENGINE_HH
+#define PMILL_RUNTIME_ENGINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.hh"
+#include "src/framework/datapath.hh"
+#include "src/framework/exec_context.hh"
+#include "src/framework/pipeline.hh"
+#include "src/mem/cache.hh"
+#include "src/mem/sim_memory.hh"
+#include "src/nic/nic_device.hh"
+#include "src/runtime/cost_model.hh"
+#include "src/trace/trace.hh"
+
+namespace pmill {
+
+/** Static parameters of the simulated machine. */
+struct MachineConfig {
+    double freq_ghz = 2.3;   ///< DUT core frequency (the paper sweeps it)
+    CacheConfig cache;       ///< per-socket hierarchy (DDIO ways = 8)
+    CostModel cost;
+    NicConfig nic;
+    std::uint32_t num_cores = 1;
+    std::uint32_t num_nics = 1;
+};
+
+/** Parameters of one measurement run. */
+struct RunConfig {
+    double offered_gbps = 100.0;  ///< offered load per NIC (wire rate)
+    double warmup_us = 1500.0;    ///< cache/pool warm-up interval
+    double duration_us = 4000.0;  ///< measured interval
+    double latency_range_us = 4000.0;  ///< histogram range
+    /// Stop generating new arrivals this long after the warm-up ends
+    /// (0 = never): lets the DUT drain completely so runs over the
+    /// same trace emit exactly the same frames (verification mode).
+    double generator_stop_us = 0.0;
+};
+
+/** Results of one run (the quantities the paper's figures report). */
+struct RunResult {
+    double throughput_gbps = 0;  ///< TX wire rate (incl. framing)
+    double goodput_gbps = 0;     ///< TX frame bytes only
+    double mpps = 0;
+    double mean_latency_us = 0;
+    double median_latency_us = 0;
+    double p99_latency_us = 0;
+    std::uint64_t tx_pkts = 0;
+    std::uint64_t rx_drops = 0;
+    double duration_ns = 0;
+
+    // perf-style microarchitectural metrics over the measured window
+    MemStats mem;      ///< summed over cores
+    ExecCounters exec; ///< summed over cores
+    double ipc = 0;
+    double llc_kloads_per_100ms = 0;
+    double llc_kmisses_per_100ms = 0;
+};
+
+/** One experiment: machine + NF configuration + traffic. */
+class Engine {
+  public:
+    /**
+     * @param config_text Click configuration of the NF.
+     * @param opts Optimization/model selection.
+     * @param trace Traffic replayed cyclically into every NIC.
+     */
+    Engine(const MachineConfig &machine, const std::string &config_text,
+           const PipelineOpts &opts, Trace trace);
+
+    ~Engine();
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Execute one run (warm-up + measurement). */
+    RunResult run(const RunConfig &rc);
+
+    /**
+     * Install a hook receiving every transmitted frame's bytes at
+     * wire-departure time (used by the equivalence verifier). Called
+     * for completions inside the measurement window only.
+     */
+    void
+    set_tx_capture(std::function<void(const std::uint8_t *, std::uint32_t)>
+                       hook)
+    {
+        tx_capture_ = std::move(hook);
+    }
+
+    /** Pipeline of core 0 (for inspection / the mill). */
+    Pipeline &pipeline(std::uint32_t core = 0) { return *cores_[core]->pipe; }
+
+    /** Number of DUT cores in this engine. */
+    std::uint32_t
+    num_cores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+
+    /** Simulated memory (for diagnostics). */
+    SimMemory &memory() { return *mem_; }
+
+    /** Cache hierarchy of @p core (diagnostics / miss attribution). */
+    CacheHierarchy &caches(std::uint32_t core = 0)
+    {
+        return *cores_[core]->caches;
+    }
+
+    NicDevice &nic(std::uint32_t i = 0) { return *nics_[i]; }
+
+  private:
+    struct BoundQueue {
+        std::uint32_t nic = 0;
+        std::uint32_t queue = 0;
+        std::unique_ptr<Datapath> dp;
+    };
+
+    struct Core {
+        std::unique_ptr<CacheHierarchy> caches;
+        std::unique_ptr<ExecContext> ctx;
+        std::unique_ptr<Pipeline> pipe;
+        /// NIC queues this core polls round-robin.
+        std::vector<BoundQueue> dps;
+        TimeNs clock = 0;
+        TimeNs last_elapsed = 0;
+        std::uint32_t rr_cursor = 0;
+    };
+
+    struct Generator {
+        std::size_t cursor = 0;
+        TimeNs next_start = 0;
+    };
+
+    /** Advance @p core by one poll iteration; returns its new clock. */
+    void step_core(Core &core);
+
+    /** Deliver the next frame of @p gen into @p nic_idx. */
+    void deliver_next(std::uint32_t nic_idx);
+
+    void drain_all_tx(TimeNs now);
+
+    MachineConfig machine_;
+    PipelineOpts opts_;
+    Trace trace_;
+    double offered_gbps_ = 100.0;
+
+    std::unique_ptr<SimMemory> mem_;
+    std::vector<std::unique_ptr<NicDevice>> nics_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Generator> gens_;
+    /// Map (nic, queue) -> datapath for TX-completion routing.
+    std::vector<std::vector<Datapath *>> queue_dp_;
+
+    std::unique_ptr<Histogram> latency_;
+    std::function<void(const std::uint8_t *, std::uint32_t)> tx_capture_;
+    bool measuring_ = false;
+    std::uint64_t tx_pkts_ = 0;
+    std::uint64_t tx_wire_bits_ = 0;
+    std::uint64_t tx_frame_bits_ = 0;
+    std::vector<TxCompletion> tx_scratch_;
+};
+
+/**
+ * Convenience: build an engine and run once.
+ */
+RunResult run_experiment(const MachineConfig &machine,
+                         const std::string &config_text,
+                         const PipelineOpts &opts, const Trace &trace,
+                         const RunConfig &rc);
+
+} // namespace pmill
+
+#endif // PMILL_RUNTIME_ENGINE_HH

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Bucketized cuckoo hash table, modeled after DPDK's rte_hash (which
+ * the paper's NAT configuration uses). Two candidate buckets per key,
+ * several entries per bucket, displacement ("kick") chains on insert.
+ *
+ * The table's arrays live in SimMemory so lookups/inserts report
+ * their touched cache lines through an AccessSink, making the NAT's
+ * extra lookups and memory usage visible to the cache model exactly
+ * as the paper describes (§A.3).
+ */
+
+#ifndef PMILL_TABLE_CUCKOO_HASH_HH
+#define PMILL_TABLE_CUCKOO_HASH_HH
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "src/common/log.hh"
+#include "src/common/random.hh"
+#include "src/common/types.hh"
+#include "src/mem/access_sink.hh"
+#include "src/mem/sim_memory.hh"
+#include "src/net/flow.hh"
+
+namespace pmill {
+
+/**
+ * Cuckoo hash mapping a trivially copyable @p Key to a trivially
+ * copyable @p Value.
+ *
+ * @tparam Key must contain no indeterminate padding bytes (pad
+ *         explicitly and zero it), because hashing and equality
+ *         operate on the raw object representation, as rte_hash does.
+ */
+template <typename Key, typename Value>
+class CuckooHash {
+  public:
+    static constexpr std::uint32_t kEntriesPerBucket = 4;
+    static constexpr std::uint32_t kMaxKicks = 128;
+
+    /**
+     * @param mem Simulated memory to place the bucket array in.
+     * @param capacity_hint Expected maximum number of keys; the table
+     *        sizes itself to keep load factor moderate.
+     */
+    CuckooHash(SimMemory &mem, std::uint32_t capacity_hint)
+        : rng_(0x5EEDull)
+    {
+        std::uint64_t want_buckets =
+            (std::uint64_t(capacity_hint) * 2) / kEntriesPerBucket + 1;
+        num_buckets_ = 1;
+        while (num_buckets_ < want_buckets)
+            num_buckets_ <<= 1;
+        storage_ = mem.alloc(num_buckets_ * sizeof(Bucket), kCacheLineBytes,
+                             Region::kTable);
+        std::memset(storage_.host, 0, storage_.size);
+    }
+
+    /**
+     * Insert or update @p key -> @p value.
+     * @return false when the table is full (kick chain exhausted).
+     */
+    bool
+    insert(const Key &key, const Value &value, AccessSink *sink = nullptr)
+    {
+        const std::uint64_t h = hash_key(key);
+        std::uint64_t b1 = bucket1(h);
+        std::uint64_t b2 = bucket2(h, b1);
+
+        if (update_in_bucket(b1, key, value, sink) ||
+            update_in_bucket(b2, key, value, sink))
+            return true;
+        if (place_in_bucket(b1, key, value, sink) ||
+            place_in_bucket(b2, key, value, sink)) {
+            ++size_;
+            return true;
+        }
+
+        // Displacement chain: evict a random victim from b1 and move
+        // it to its alternate bucket, repeating up to kMaxKicks.
+        Key cur_key = key;
+        Value cur_val = value;
+        std::uint64_t bucket = b1;
+        for (std::uint32_t kick = 0; kick < kMaxKicks; ++kick) {
+            const std::uint32_t slot = static_cast<std::uint32_t>(
+                rng_.next_below(kEntriesPerBucket));
+            Entry &victim = bucket_at(bucket).entries[slot];
+            sink_load(sink, entry_addr(bucket, slot), sizeof(Entry));
+
+            Key evicted_key = victim.key;
+            Value evicted_val = victim.value;
+            victim.key = cur_key;
+            victim.value = cur_val;
+            sink_store(sink, entry_addr(bucket, slot), sizeof(Entry));
+
+            const std::uint64_t eh = hash_key(evicted_key);
+            const std::uint64_t eb1 = bucket1(eh);
+            const std::uint64_t eb2 = bucket2(eh, eb1);
+            const std::uint64_t alt = (bucket == eb1) ? eb2 : eb1;
+            if (place_in_bucket(alt, evicted_key, evicted_val, sink)) {
+                ++size_;
+                return true;
+            }
+            cur_key = evicted_key;
+            cur_val = evicted_val;
+            bucket = alt;
+        }
+        return false;
+    }
+
+    /** Look up @p key; nullopt when absent. */
+    std::optional<Value>
+    lookup(const Key &key, AccessSink *sink = nullptr) const
+    {
+        const std::uint64_t h = hash_key(key);
+        const std::uint64_t b1 = bucket1(h);
+        if (auto v = find_in_bucket(b1, key, sink))
+            return v;
+        return find_in_bucket(bucket2(h, b1), key, sink);
+    }
+
+    /** Remove @p key. @return true when it was present. */
+    bool
+    erase(const Key &key, AccessSink *sink = nullptr)
+    {
+        const std::uint64_t h = hash_key(key);
+        const std::uint64_t b1 = bucket1(h);
+        if (erase_in_bucket(b1, key, sink))
+            return true;
+        return erase_in_bucket(bucket2(h, b1), key, sink);
+    }
+
+    /** Number of stored keys. */
+    std::uint64_t size() const { return size_; }
+
+    /** Number of buckets (power of two). */
+    std::uint64_t num_buckets() const { return num_buckets_; }
+
+    /** Bytes of simulated memory occupied by the bucket array. */
+    std::uint64_t memory_bytes() const { return storage_.size; }
+
+  private:
+    struct Entry {
+        Key key;
+        Value value;
+        std::uint8_t occupied;
+    };
+
+    struct Bucket {
+        Entry entries[kEntriesPerBucket];
+    };
+
+    static std::uint64_t
+    hash_key(const Key &key)
+    {
+        // Byte-wise 64-bit FNV-1a, finalized with mix64. Keys are
+        // trivially copyable so hashing raw bytes is well defined.
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&key);
+        std::uint64_t h = 0xCBF29CE484222325ull;
+        for (std::size_t i = 0; i < sizeof(Key); ++i) {
+            h ^= p[i];
+            h *= 0x100000001B3ull;
+        }
+        return mix64(h);
+    }
+
+    std::uint64_t bucket1(std::uint64_t h) const
+    {
+        return h & (num_buckets_ - 1);
+    }
+
+    std::uint64_t
+    bucket2(std::uint64_t h, std::uint64_t b1) const
+    {
+        // Partial-key displacement hash (independent bits of h).
+        return (b1 ^ mix64(h >> 32)) & (num_buckets_ - 1);
+    }
+
+    Bucket &
+    bucket_at(std::uint64_t b) const
+    {
+        return reinterpret_cast<Bucket *>(storage_.host)[b];
+    }
+
+    Addr
+    entry_addr(std::uint64_t b, std::uint32_t slot) const
+    {
+        return storage_.addr + b * sizeof(Bucket) + slot * sizeof(Entry);
+    }
+
+    std::optional<Value>
+    find_in_bucket(std::uint64_t b, const Key &key, AccessSink *sink) const
+    {
+        // One bucket spans at most two cache lines; model a single
+        // bucket-wide load (hardware compares tags within the lines).
+        sink_load(sink, entry_addr(b, 0), sizeof(Bucket));
+        const Bucket &bk = bucket_at(b);
+        for (std::uint32_t s = 0; s < kEntriesPerBucket; ++s) {
+            const Entry &e = bk.entries[s];
+            if (e.occupied && key_eq(e.key, key))
+                return e.value;
+        }
+        return std::nullopt;
+    }
+
+    bool
+    update_in_bucket(std::uint64_t b, const Key &key, const Value &value,
+                     AccessSink *sink)
+    {
+        sink_load(sink, entry_addr(b, 0), sizeof(Bucket));
+        Bucket &bk = bucket_at(b);
+        for (std::uint32_t s = 0; s < kEntriesPerBucket; ++s) {
+            Entry &e = bk.entries[s];
+            if (e.occupied && key_eq(e.key, key)) {
+                e.value = value;
+                sink_store(sink, entry_addr(b, s), sizeof(Entry));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    place_in_bucket(std::uint64_t b, const Key &key, const Value &value,
+                    AccessSink *sink)
+    {
+        Bucket &bk = bucket_at(b);
+        for (std::uint32_t s = 0; s < kEntriesPerBucket; ++s) {
+            Entry &e = bk.entries[s];
+            if (!e.occupied) {
+                e.key = key;
+                e.value = value;
+                e.occupied = 1;
+                sink_store(sink, entry_addr(b, s), sizeof(Entry));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    erase_in_bucket(std::uint64_t b, const Key &key, AccessSink *sink)
+    {
+        sink_load(sink, entry_addr(b, 0), sizeof(Bucket));
+        Bucket &bk = bucket_at(b);
+        for (std::uint32_t s = 0; s < kEntriesPerBucket; ++s) {
+            Entry &e = bk.entries[s];
+            if (e.occupied && key_eq(e.key, key)) {
+                e.occupied = 0;
+                sink_store(sink, entry_addr(b, s), sizeof(Entry));
+                --size_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    static bool
+    key_eq(const Key &a, const Key &b)
+    {
+        return std::memcmp(&a, &b, sizeof(Key)) == 0;
+    }
+
+    MemHandle storage_;
+    std::uint64_t num_buckets_ = 0;
+    std::uint64_t size_ = 0;
+    Xorshift64 rng_;
+};
+
+} // namespace pmill
+
+#endif // PMILL_TABLE_CUCKOO_HASH_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for src/common: histogram percentiles, ring behaviour,
+ * RNG determinism, units formatting, string formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/histogram.hh"
+#include "src/common/log.hh"
+#include "src/common/random.hh"
+#include "src/common/ring.hh"
+#include "src/common/table_printer.hh"
+#include "src/common/types.hh"
+#include "src/common/units.hh"
+
+namespace pmill {
+namespace {
+
+TEST(Types, RoundUp)
+{
+    EXPECT_EQ(round_up(0, 64), 0u);
+    EXPECT_EQ(round_up(1, 64), 64u);
+    EXPECT_EQ(round_up(64, 64), 64u);
+    EXPECT_EQ(round_up(65, 64), 128u);
+}
+
+TEST(Types, Pow2Helpers)
+{
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(4096));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(24));
+    EXPECT_EQ(log2_exact(1), 0u);
+    EXPECT_EQ(log2_exact(4096), 12u);
+}
+
+TEST(Types, LineAndPage)
+{
+    EXPECT_EQ(line_of(0), 0u);
+    EXPECT_EQ(line_of(63), 0u);
+    EXPECT_EQ(line_of(64), 1u);
+    EXPECT_EQ(page_of(4095), 0u);
+    EXPECT_EQ(page_of(4096), 1u);
+}
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strprintf("%.2f", 1.234), "1.23");
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h(100.0, 100);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, MedianOfUniform)
+{
+    Histogram h(1000.0, 1000);
+    for (int i = 0; i < 1000; ++i)
+        h.record(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(0.5), 500.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.99), 990.0, 2.0);
+    EXPECT_NEAR(h.mean(), 499.5, 0.01);
+    EXPECT_DOUBLE_EQ(h.max(), 999.0);
+}
+
+TEST(Histogram, OverflowReportsMax)
+{
+    Histogram h(10.0, 10);
+    h.record(5.0);
+    h.record(5000.0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 5000.0);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(10.0, 10);
+    h.record(1.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Ring, PushPopOrder)
+{
+    Ring<int> r(8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(r.push(i));
+    EXPECT_TRUE(r.full());
+    EXPECT_FALSE(r.push(99));
+    for (int i = 0; i < 8; ++i) {
+        int v = -1;
+        EXPECT_TRUE(r.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_TRUE(r.empty());
+    int v;
+    EXPECT_FALSE(r.pop(v));
+}
+
+TEST(Ring, WrapsAround)
+{
+    Ring<int> r(4);
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_TRUE(r.push(round));
+        int v = -1;
+        EXPECT_TRUE(r.pop(v));
+        EXPECT_EQ(v, round);
+    }
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, SlotIndices)
+{
+    Ring<int> r(4);
+    EXPECT_EQ(r.next_push_slot(), 0u);
+    r.push(1);
+    EXPECT_EQ(r.next_push_slot(), 1u);
+    EXPECT_EQ(r.next_pop_slot(), 0u);
+}
+
+TEST(Random, Deterministic)
+{
+    Xorshift64 a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, BoundedStaysInRange)
+{
+    Xorshift64 rng(42);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Xorshift64 rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, RoughlyUniform)
+{
+    Xorshift64 rng(11);
+    int buckets[10] = {};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.next_below(10)];
+    for (int b : buckets) {
+        EXPECT_GT(b, n / 10 - n / 50);
+        EXPECT_LT(b, n / 10 + n / 50);
+    }
+}
+
+TEST(Units, Formatting)
+{
+    EXPECT_EQ(format_gbps(100e9), "100.00 Gbps");
+    EXPECT_EQ(format_mpps(14.88e6), "14.88 Mpps");
+    EXPECT_EQ(format_bytes(64), "64 B");
+    EXPECT_EQ(format_bytes(2048), "2 KiB");
+    EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3 MiB");
+}
+
+TEST(TablePrinter, CountsRows)
+{
+    TablePrinter t;
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    t.row({"3", "4"});
+    EXPECT_EQ(t.num_rows(), 2u);
+}
+
+} // namespace
+} // namespace pmill

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the PacketMill optimization driver: the field reference
+ * scan, hot-first ordering, the reorder pass's correctness (values
+ * survive; hot fields pack into fewer lines), and the grind report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mill/packet_mill.hh"
+#include "src/runtime/experiments.hh"
+
+namespace pmill {
+namespace {
+
+std::unique_ptr<Pipeline>
+build_router(SimMemory &mem, PipelineOpts opts)
+{
+    std::string err;
+    auto p = Pipeline::build(router_config(), mem, opts, &err);
+    EXPECT_NE(p, nullptr) << err;
+    return p;
+}
+
+TEST(MillScan, CountsElementAndDatapathReferences)
+{
+    SimMemory mem;
+    auto p = build_router(mem, PipelineOpts::vanilla());
+    FieldUsage usage = scan_field_references(*p);
+
+    // The RX conversion writes these once per packet.
+    EXPECT_GE(usage.writes[static_cast<std::size_t>(Field::kDataAddr)], 1u);
+    EXPECT_GE(usage.writes[static_cast<std::size_t>(Field::kLen)], 1u);
+    // Several router elements read the data pointer.
+    EXPECT_GE(usage.reads[static_cast<std::size_t>(Field::kDataAddr)], 4u);
+    // The L3 offset is written by CheckIPHeader and read downstream.
+    EXPECT_GE(usage.total(Field::kL3Offset), 2u);
+}
+
+TEST(MillScan, HotOrderPutsDataAddrFirst)
+{
+    SimMemory mem;
+    auto p = build_router(mem, PipelineOpts::vanilla());
+    FieldUsage usage = scan_field_references(*p);
+    std::vector<Field> order = hot_field_order(usage);
+    ASSERT_FALSE(order.empty());
+    EXPECT_EQ(order[0], Field::kDataAddr);
+    // Ordering is by descending total references.
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_GE(usage.total(order[i - 1]), usage.total(order[i]));
+}
+
+TEST(MillReorder, PacksHotFieldsIntoFirstLine)
+{
+    SimMemory mem;
+    auto p = build_router(mem, PipelineOpts::vanilla());
+    FieldUsage usage = scan_field_references(*p);
+    MetadataLayout base = make_copying_layout();
+    MetadataLayout reordered = reorder_packet_layout(base, usage);
+
+    EXPECT_EQ(reordered.total_bytes, base.total_bytes);
+    // The hottest scalar lands at offset 0.
+    EXPECT_EQ(reordered.offset_of(Field::kDataAddr), 0u);
+    // Hot scalar fields now span fewer lines than in the base layout.
+    std::vector<Field> hot = {Field::kDataAddr, Field::kLen,
+                              Field::kL3Offset, Field::kNextPtr};
+    EXPECT_LT(reordered.lines_spanned(hot), base.lines_spanned(hot));
+}
+
+TEST(MillReorder, AnnotationAreaMovesAsAUnit)
+{
+    SimMemory mem;
+    auto p = build_router(mem, PipelineOpts::vanilla());
+    FieldUsage usage = scan_field_references(*p);
+    MetadataLayout reordered =
+        reorder_packet_layout(make_copying_layout(), usage);
+
+    // Every scalar member precedes every annotation-area member.
+    std::uint32_t max_scalar_end = 0;
+    std::uint32_t min_anno = ~0u;
+    for (std::size_t i = 0; i < kNumFields; ++i) {
+        const Field f = static_cast<Field>(i);
+        const bool anno = f == Field::kTimestamp || f == Field::kPaint ||
+                          f == Field::kDstIpAnno || f == Field::kAggregate;
+        if (anno)
+            min_anno = std::min(min_anno,
+                                std::uint32_t(reordered.offset_of(f)));
+        else
+            max_scalar_end = std::max(
+                max_scalar_end,
+                std::uint32_t(reordered.offset_of(f)) + field_size(f));
+    }
+    EXPECT_LE(max_scalar_end, min_anno);
+}
+
+TEST(MillReorder, ValuesSurviveLayoutSwap)
+{
+    // Write through the base layout, swap layouts, write through the
+    // new layout, read back — reordering must be semantically
+    // transparent for packets created after the swap.
+    SimMemory mem;
+    auto p = build_router(mem, PipelineOpts::vanilla());
+    FieldUsage usage = scan_field_references(*p);
+    MetadataLayout reordered =
+        reorder_packet_layout(p->layout(), usage);
+    p->set_layout(reordered);
+
+    std::uint8_t backing[192] = {};
+    PacketHandle h;
+    h.meta_host = backing;
+    h.meta_addr = 0x4000;
+    PacketView v(h, p->layout(), nullptr);
+    v.write(Field::kLen, 777);
+    v.write(Field::kDstIpAnno, 0x0A000001);
+    EXPECT_EQ(v.read(Field::kLen), 777u);
+    EXPECT_EQ(v.read(Field::kDstIpAnno), 0x0A000001u);
+}
+
+TEST(MillAnalyze, ReportReflectsOptions)
+{
+    SimMemory mem;
+    auto p = build_router(mem, opts_source_all());
+    MillReport r = PacketMill::analyze(*p, false);
+    EXPECT_TRUE(r.devirtualized);
+    EXPECT_TRUE(r.constants_embedded);
+    EXPECT_TRUE(r.static_graph);
+    EXPECT_FALSE(r.reordered);
+    EXPECT_GT(r.num_elements, 5u);
+    EXPECT_GT(r.num_edges, 5u);
+    EXPECT_FALSE(r.to_string().empty());
+}
+
+TEST(MillAnalyze, ReorderOnlyAppliesToCopying)
+{
+    SimMemory mem;
+    std::string err;
+    PipelineOpts xchg = opts_packetmill();
+    xchg.reorder = true;
+    auto p = Pipeline::build(router_config(), mem, xchg, &err);
+    ASSERT_NE(p, nullptr) << err;
+    MillReport r = PacketMill::analyze(*p, true);
+    EXPECT_FALSE(r.reordered)
+        << "the paper's pass targets the Copying Packet class only";
+
+    SimMemory mem2;
+    auto p2 = Pipeline::build(router_config(), mem2, opts_lto_reorder(),
+                              &err);
+    ASSERT_NE(p2, nullptr) << err;
+    MillReport r2 = PacketMill::analyze(*p2, true);
+    EXPECT_TRUE(r2.reordered);
+    EXPECT_LT(r2.layout_lines_after, r2.layout_lines_before);
+}
+
+TEST(MillGrind, AppliesAcrossEngineCores)
+{
+    Trace t = make_fixed_size_trace(256, 256);
+    MachineConfig m;
+    m.num_cores = 2;
+    Engine e(m, nat_config(), opts_lto_reorder(), t);
+    MillReport r = PacketMill::grind(e);
+    EXPECT_TRUE(r.reordered);
+    // Both cores' pipelines got the reordered layout.
+    EXPECT_EQ(e.pipeline(0).layout().name,
+              e.pipeline(1).layout().name);
+    EXPECT_NE(e.pipeline(0).layout().name.find("reordered"),
+              std::string::npos);
+}
+
+TEST(MillGrind, ReorderedRouterStillRoutesCorrectly)
+{
+    Trace t = default_campus_trace();
+    MachineConfig m;
+    Engine e(m, router_config(), opts_lto_reorder(), t);
+    PacketMill::grind(e);
+    RunConfig rc;
+    rc.offered_gbps = 10;
+    rc.warmup_us = 200;
+    rc.duration_us = 400;
+    RunResult r = e.run(rc);
+    EXPECT_GT(r.tx_pkts, 100u);
+    EXPECT_EQ(e.pipeline().dropped(), 0u)
+        << "reordering must not change functional behaviour";
+}
+
+} // namespace
+} // namespace pmill

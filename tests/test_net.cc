@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit and property tests for the net substrate: header layouts,
+ * byte order, checksums (full + incremental), frame build/parse
+ * round-trips, tuple extraction, and RSS hashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/net/byteorder.hh"
+#include "src/net/checksum.hh"
+#include "src/net/flow.hh"
+#include "src/net/headers.hh"
+#include "src/net/packet_builder.hh"
+
+namespace pmill {
+namespace {
+
+TEST(ByteOrder, RoundTrip16)
+{
+    EXPECT_EQ(hton16(0x1234), 0x3412);
+    EXPECT_EQ(ntoh16(hton16(0xBEEF)), 0xBEEF);
+}
+
+TEST(ByteOrder, RoundTrip32)
+{
+    EXPECT_EQ(hton32(0x12345678u), 0x78563412u);
+    EXPECT_EQ(ntoh32(hton32(0xDEADBEEFu)), 0xDEADBEEFu);
+}
+
+TEST(Addresses, Formatting)
+{
+    EXPECT_EQ(Ipv4Addr::make(192, 168, 1, 42).to_string(), "192.168.1.42");
+    EXPECT_EQ(MacAddr::make(0xAA, 0xBB, 0xCC, 0, 1, 2).to_string(),
+              "aa:bb:cc:00:01:02");
+}
+
+TEST(Checksum, KnownVector)
+{
+    // RFC 1071 example bytes.
+    const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5,
+                                 0xf6, 0xf7};
+    EXPECT_EQ(internet_checksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(Checksum, OddLength)
+{
+    const std::uint8_t data[] = {0x01, 0x02, 0x03};
+    // Manual: 0x0102 + 0x0300 = 0x0402 -> ~ = 0xFBFD
+    EXPECT_EQ(internet_checksum(data, 3), 0xFBFD);
+}
+
+TEST(Checksum, VerifiesToZero)
+{
+    FrameSpec spec;
+    auto frame = build_frame(spec);
+    auto *ip = frame.data() + kEtherHeaderLen;
+    // Recomputing over a header with its checksum in place yields 0.
+    EXPECT_EQ(internet_checksum(ip, kIpv4HeaderLen), 0);
+}
+
+TEST(Checksum, IncrementalUpdate16MatchesFull)
+{
+    std::uint8_t data[20] = {0x45, 0x00, 0x01, 0x02, 0x03, 0x04, 0x40,
+                             0x06, 0x00, 0x00, 0x0A, 0x00, 0x00, 0x01,
+                             0xC0, 0xA8, 0x01, 0x01, 0x11, 0x22};
+    std::uint16_t before = internet_checksum(data, sizeof(data));
+    std::uint16_t old_field =
+        (std::uint16_t(data[6]) << 8) | data[7];  // ttl|proto word
+    data[6] = 0x3F;  // decrement TTL
+    std::uint16_t new_field = (std::uint16_t(data[6]) << 8) | data[7];
+    std::uint16_t incremental =
+        checksum_update16(before, old_field, new_field);
+    EXPECT_EQ(incremental, internet_checksum(data, sizeof(data)));
+}
+
+TEST(Checksum, IncrementalUpdate32MatchesFull)
+{
+    FrameSpec spec;
+    auto frame = build_frame(spec);
+    auto *ip = reinterpret_cast<Ipv4Header *>(frame.data() + kEtherHeaderLen);
+    std::uint16_t old_sum = ntoh16(ip->checksum_be);
+    std::uint32_t old_src = ip->src().value;
+    Ipv4Addr new_src = Ipv4Addr::make(172, 16, 9, 9);
+    ip->set_src(new_src);
+    std::uint16_t inc = checksum_update32(old_sum, old_src, new_src.value);
+    ip->checksum_be = 0;
+    EXPECT_EQ(inc, internet_checksum(
+                       reinterpret_cast<std::uint8_t *>(ip), kIpv4HeaderLen));
+}
+
+TEST(Frame, BuildTcpAndParse)
+{
+    FrameSpec spec;
+    spec.frame_len = 128;
+    auto frame = build_frame(spec);
+    EXPECT_EQ(frame.size(), 128u);
+    FrameView v = parse_frame(frame.data(), frame.size());
+    ASSERT_NE(v.eth, nullptr);
+    ASSERT_NE(v.ip, nullptr);
+    ASSERT_NE(v.tcp, nullptr);
+    EXPECT_EQ(v.eth->ether_type(), kEtherTypeIpv4);
+    EXPECT_EQ(v.ip->total_len(), 128u - kEtherHeaderLen);
+    EXPECT_EQ(v.ip->ttl, 64);
+    EXPECT_EQ(v.tcp->src_port(), 1000);
+    EXPECT_EQ(v.tcp->dst_port(), 80);
+    EXPECT_EQ(v.l3_offset, kEtherHeaderLen);
+    EXPECT_EQ(v.l4_offset, kEtherHeaderLen + kIpv4HeaderLen);
+}
+
+TEST(Frame, BuildUdpAndIcmp)
+{
+    FrameSpec spec;
+    spec.flow.proto = kIpProtoUdp;
+    spec.frame_len = 64;
+    auto udp_frame = build_frame(spec);
+    FrameView vu = parse_frame(udp_frame.data(), udp_frame.size());
+    ASSERT_NE(vu.udp, nullptr);
+    EXPECT_EQ(vu.udp->length(), 64u - kEtherHeaderLen - kIpv4HeaderLen);
+
+    spec.flow.proto = kIpProtoIcmp;
+    auto icmp_frame = build_frame(spec);
+    FrameView vi = parse_frame(icmp_frame.data(), icmp_frame.size());
+    ASSERT_NE(vi.icmp, nullptr);
+    EXPECT_EQ(vi.icmp->type, 8);
+}
+
+TEST(Frame, MinimumSizeEnforced)
+{
+    FrameSpec spec;
+    spec.frame_len = 10;  // below any sane minimum
+    auto frame = build_frame(spec);
+    EXPECT_GE(frame.size(), kEtherHeaderLen + kIpv4HeaderLen +
+                                sizeof(TcpHeader));
+}
+
+TEST(Frame, ArpParsesAsNonIp)
+{
+    auto frame = build_arp_frame(MacAddr::make(2, 0, 0, 0, 0, 1),
+                                 Ipv4Addr::make(10, 0, 0, 1),
+                                 Ipv4Addr::make(10, 0, 0, 2));
+    FrameView v = parse_frame(frame.data(), frame.size());
+    ASSERT_NE(v.eth, nullptr);
+    EXPECT_EQ(v.eth->ether_type(), kEtherTypeArp);
+    EXPECT_EQ(v.ip, nullptr);
+}
+
+TEST(Frame, TruncatedFrameIsRejectedGracefully)
+{
+    FrameSpec spec;
+    auto frame = build_frame(spec);
+    FrameView v = parse_frame(frame.data(), 10);
+    EXPECT_EQ(v.eth, nullptr);
+    v = parse_frame(frame.data(), kEtherHeaderLen + 4);
+    EXPECT_NE(v.eth, nullptr);
+    EXPECT_EQ(v.ip, nullptr);
+}
+
+TEST(Frame, TupleExtraction)
+{
+    FrameSpec spec;
+    spec.flow.src_ip = Ipv4Addr::make(10, 1, 2, 3);
+    spec.flow.dst_ip = Ipv4Addr::make(10, 4, 5, 6);
+    spec.flow.src_port = 5555;
+    spec.flow.dst_port = 443;
+    auto frame = build_frame(spec);
+    FiveTuple t = extract_tuple(frame.data(), frame.size());
+    EXPECT_EQ(t, spec.flow);
+}
+
+TEST(Frame, BadChecksumFlag)
+{
+    FrameSpec spec;
+    spec.good_l3_checksum = false;
+    auto frame = build_frame(spec);
+    auto *ip = frame.data() + kEtherHeaderLen;
+    EXPECT_NE(internet_checksum(ip, kIpv4HeaderLen), 0);
+}
+
+TEST(Rss, DeterministicAndSensitive)
+{
+    FiveTuple a{Ipv4Addr::make(10, 0, 0, 1), Ipv4Addr::make(10, 0, 0, 2),
+                100, 200, kIpProtoTcp};
+    FiveTuple b = a;
+    EXPECT_EQ(rss_hash(a), rss_hash(b));
+    b.src_port = 101;
+    EXPECT_NE(rss_hash(a), rss_hash(b));
+}
+
+TEST(Rss, BalancesAcrossQueues)
+{
+    int counts[4] = {};
+    const int flows = 4000;
+    for (int i = 0; i < flows; ++i) {
+        FiveTuple t{Ipv4Addr{std::uint32_t(0x0A000000 + i)},
+                    Ipv4Addr::make(192, 168, 0, 1),
+                    std::uint16_t(1024 + i), 80, kIpProtoTcp};
+        ++counts[rss_hash(t) % 4];
+    }
+    for (int c : counts) {
+        EXPECT_GT(c, flows / 4 - flows / 10);
+        EXPECT_LT(c, flows / 4 + flows / 10);
+    }
+}
+
+// Property sweep: checksum update identity across many packets.
+class ChecksumProperty : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(ChecksumProperty, TtlDecrementIncremental)
+{
+    FrameSpec spec;
+    spec.flow.src_port = GetParam();
+    spec.ttl = static_cast<std::uint8_t>(2 + GetParam() % 250);
+    auto frame = build_frame(spec);
+    auto *ip = reinterpret_cast<Ipv4Header *>(frame.data() + kEtherHeaderLen);
+
+    std::uint16_t old_sum = ntoh16(ip->checksum_be);
+    std::uint16_t old_word = (std::uint16_t(ip->ttl) << 8) | ip->proto;
+    --ip->ttl;
+    std::uint16_t new_word = (std::uint16_t(ip->ttl) << 8) | ip->proto;
+    ip->checksum_be = hton16(checksum_update16(old_sum, old_word, new_word));
+    EXPECT_EQ(internet_checksum(
+                  reinterpret_cast<std::uint8_t *>(ip), kIpv4HeaderLen),
+              0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyFlows, ChecksumProperty,
+                         ::testing::Values(1, 17, 91, 1024, 5000, 65000));
+
+} // namespace
+} // namespace pmill

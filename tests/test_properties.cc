@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Engine-level property tests: parameterized sweeps asserting the
+ * monotonicity and conservation properties the whole reproduction
+ * rests on. These are the "shape" invariants of the paper's
+ * evaluation, checked as executable properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/experiments.hh"
+
+namespace pmill {
+namespace {
+
+Quality
+quick()
+{
+    Quality q;
+    q.warmup_us = 250;
+    q.duration_us = 500;
+    return q;
+}
+
+// Property: throughput is non-decreasing in core frequency, for every
+// configuration variant.
+class FreqMonotonic
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(FreqMonotonic, ThroughputDoesNotDecreaseWithFrequency)
+{
+    const auto [variant, dummy] = GetParam();
+    (void)dummy;
+    static const PipelineOpts kOpts[] = {
+        PipelineOpts::vanilla(),
+        PipelineOpts::packetmill(),
+    };
+    const Trace trace = make_fixed_size_trace(512, 1024, 128);
+
+    double prev = 0;
+    for (double f : {1.2, 2.0, 2.8}) {
+        ExperimentSpec spec;
+        spec.config = forwarder_config();
+        spec.opts = kOpts[variant];
+        spec.freq_ghz = f;
+        spec.quality = quick();
+        const double thr = measure(spec, trace).throughput_gbps;
+        EXPECT_GE(thr, prev * 0.98)
+            << "variant " << variant << " regressed at " << f << " GHz";
+        prev = thr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, FreqMonotonic,
+                         ::testing::Values(std::tuple{0, 0.0},
+                                           std::tuple{1, 0.0}));
+
+// Property: conservation — packets in == packets out + drops, across
+// packet sizes and loads.
+class Conservation
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {
+};
+
+TEST_P(Conservation, NoPacketsVanish)
+{
+    const auto [size, offered] = GetParam();
+    const Trace trace = make_fixed_size_trace(size, 512, 64);
+    MachineConfig m;
+    m.freq_ghz = 1.6;
+    Engine engine(m, forwarder_config(), PipelineOpts::vanilla(), trace);
+    RunConfig rc;
+    rc.offered_gbps = offered;
+    rc.warmup_us = 250;
+    rc.duration_us = 500;
+    RunResult r = engine.run(rc);
+
+    // Everything the NIC accepted was either transmitted, dropped in
+    // the graph (none for the forwarder), or is still in flight
+    // (bounded by ring+queue capacity).
+    const auto &nic = engine.nic().stats();
+    const std::uint64_t accepted = nic.rx_frames;
+    const std::uint64_t inflight_bound =
+        2ull * engine.nic().config().rx_ring_size +
+        engine.nic().config().tx_ring_size + 2 * kMaxBurst;
+    EXPECT_LE(nic.tx_frames, accepted);
+    EXPECT_GE(nic.tx_frames + inflight_bound, accepted);
+    EXPECT_EQ(engine.pipeline().dropped(), 0u);
+    EXPECT_GT(r.tx_pkts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndLoads, Conservation,
+    ::testing::Values(std::tuple{64u, 10.0}, std::tuple{64u, 100.0},
+                      std::tuple{512u, 50.0}, std::tuple{1472u, 100.0}));
+
+// Property: offered load at or below capacity is delivered (no drops,
+// achieved == offered).
+class DeliveredLoad : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeliveredLoad, AchievedMatchesOfferedUnderCapacity)
+{
+    const double offered = GetParam();
+    const Trace trace = make_fixed_size_trace(1024, 1024, 128);
+    ExperimentSpec spec;
+    spec.config = forwarder_config();
+    spec.opts = opts_packetmill();
+    spec.freq_ghz = 3.0;
+    spec.offered_gbps = offered;
+    spec.quality = quick();
+    RunResult r = measure(spec, trace);
+    EXPECT_NEAR(r.throughput_gbps, offered, offered * 0.08 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, DeliveredLoad,
+                         ::testing::Values(5.0, 25.0, 50.0, 75.0));
+
+// Property: the optimization ladder never hurts (each added pass is
+// >= the previous minus noise) across frequencies.
+class Ladder : public ::testing::TestWithParam<double> {};
+
+TEST_P(Ladder, EachPassHelpsOrIsNeutral)
+{
+    const double f = GetParam();
+    const Trace trace = make_campus_trace({1024, 256, 3});
+    const PipelineOpts ladder[] = {opts_vanilla(), opts_devirtualize(),
+                                   opts_constants(), opts_source_all()};
+    double prev = 0;
+    for (const auto &o : ladder) {
+        ExperimentSpec spec;
+        spec.config = router_config();
+        spec.opts = o;
+        spec.freq_ghz = f;
+        spec.quality = quick();
+        const double thr = measure(spec, trace).throughput_gbps;
+        EXPECT_GE(thr, prev * 0.97) << "pass regressed at " << f;
+        prev = thr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Freqs, Ladder, ::testing::Values(1.2, 2.3, 3.0));
+
+// Property: latency percentiles are ordered (median <= p99 <= max
+// range) in every regime.
+class LatencyOrder : public ::testing::TestWithParam<double> {};
+
+TEST_P(LatencyOrder, PercentilesAreOrdered)
+{
+    const Trace trace = make_fixed_size_trace(512, 512, 64);
+    ExperimentSpec spec;
+    spec.config = forwarder_config();
+    spec.opts = opts_vanilla();
+    spec.freq_ghz = 1.4;
+    spec.offered_gbps = GetParam();
+    spec.quality = quick();
+    RunResult r = measure(spec, trace);
+    EXPECT_LE(r.median_latency_us, r.p99_latency_us + 1e-9);
+    EXPECT_GE(r.median_latency_us, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LatencyOrder,
+                         ::testing::Values(10.0, 60.0, 100.0));
+
+// Property: X-Change never loses to Copying, at any size/frequency.
+class ModelDominance
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {
+};
+
+TEST_P(ModelDominance, XchangeBeatsCopying)
+{
+    const auto [size, f] = GetParam();
+    const Trace trace = make_fixed_size_trace(size, 1024, 128);
+    double thr[2];
+    int i = 0;
+    for (MetadataModel m :
+         {MetadataModel::kCopying, MetadataModel::kXchange}) {
+        ExperimentSpec spec;
+        spec.config = forwarder_config();
+        spec.opts = opts_model(m);
+        spec.freq_ghz = f;
+        spec.quality = quick();
+        thr[i++] = measure(spec, trace).throughput_gbps;
+    }
+    EXPECT_GE(thr[1], thr[0] * 0.99)
+        << "X-Change lost at size " << size << ", " << f << " GHz";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelDominance,
+    ::testing::Combine(::testing::Values(64u, 512u, 1472u),
+                       ::testing::Values(1.2, 2.4)));
+
+} // namespace
+} // namespace pmill

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the specialized-source emitter (the click-devirtualize
+ * style output of the mill's source pass).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mill/source_gen.hh"
+#include "src/runtime/experiments.hh"
+
+namespace pmill {
+namespace {
+
+std::string
+emit_for(PipelineOpts opts)
+{
+    SimMemory mem;
+    std::string err;
+    auto p = Pipeline::build(router_config(), mem, opts, &err);
+    EXPECT_NE(p, nullptr) << err;
+    return emit_specialized_source(*p);
+}
+
+TEST(SourceGen, VanillaUsesHeapAndVirtualDispatch)
+{
+    const std::string src = emit_for(opts_vanilla());
+    EXPECT_NE(src.find("new Classifier"), std::string::npos);
+    EXPECT_NE(src.find("virtual dispatch"), std::string::npos);
+    EXPECT_EQ(src.find("static Classifier"), std::string::npos);
+    EXPECT_EQ(src.find("constexpr"), std::string::npos);
+}
+
+TEST(SourceGen, StaticGraphDeclaresElementsStatically)
+{
+    const std::string src = emit_for(opts_source_all());
+    EXPECT_NE(src.find("static Classifier"), std::string::npos);
+    EXPECT_NE(src.find("static IPLookup"), std::string::npos);
+    EXPECT_NE(src.find("fully inlined chain"), std::string::npos);
+    EXPECT_EQ(src.find("new "), std::string::npos);
+}
+
+TEST(SourceGen, ConstantsAreFolded)
+{
+    const std::string src = emit_for(opts_constants());
+    EXPECT_NE(src.find("constexpr"), std::string::npos);
+    EXPECT_NE(src.find("kinput_BURST = 32"), std::string::npos);
+}
+
+TEST(SourceGen, ChainFollowsTheGraph)
+{
+    const std::string src = emit_for(opts_source_all());
+    // The router branches on the classifier: both the ARP and the IP
+    // paths must be present, with the switch on the output port.
+    EXPECT_NE(src.find("switch (batch.out_port())"), std::string::npos);
+    EXPECT_NE(src.find("ARPResponder_1"), std::string::npos);
+    EXPECT_NE(src.find("CheckIPHeader_2"), std::string::npos);
+    // IP path ends at the TX endpoint.
+    EXPECT_NE(src.find("tx(batch)"), std::string::npos);
+    // Graph order: CheckIPHeader is called before the route lookup.
+    EXPECT_LT(src.find("inline_process_CheckIPHeader_2"),
+              src.find("inline_process_rt"));
+}
+
+TEST(SourceGen, EveryElementAppears)
+{
+    SimMemory mem;
+    std::string err;
+    auto p = Pipeline::build(ids_router_config(), mem, opts_source_all(),
+                             &err);
+    ASSERT_NE(p, nullptr) << err;
+    const std::string src = emit_specialized_source(*p);
+    for (const auto &pe : p->parsed().elements)
+        EXPECT_NE(src.find(pe.class_name), std::string::npos)
+            << pe.class_name;
+}
+
+} // namespace
+} // namespace pmill

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the lookup-table substrates: cuckoo hash vs.
+ * std::unordered_map ground truth, and DIR-24-8 LPM vs. the naive
+ * linear-scan reference, plus access-accounting checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.hh"
+#include "src/mem/access_sink.hh"
+#include "src/mem/sim_memory.hh"
+#include "src/table/cuckoo_hash.hh"
+#include "src/table/lpm.hh"
+
+namespace pmill {
+namespace {
+
+/** Sink that just counts accesses (no cache model). */
+class CountingSink : public AccessSink {
+  public:
+    void
+    on_access(Addr, std::uint32_t, AccessType type) override
+    {
+        if (type == AccessType::kLoad)
+            ++loads;
+        else
+            ++stores;
+    }
+    void
+    on_compute(Cycles c, double) override
+    {
+        cycles += c;
+    }
+    int loads = 0;
+    int stores = 0;
+    double cycles = 0;
+};
+
+struct Key64 {
+    std::uint64_t v;
+};
+
+TEST(CuckooHash, InsertLookupErase)
+{
+    SimMemory mem;
+    CuckooHash<Key64, std::uint32_t> t(mem, 1024);
+    EXPECT_TRUE(t.insert(Key64{42}, 7));
+    auto v = t.lookup(Key64{42});
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7u);
+    EXPECT_FALSE(t.lookup(Key64{43}).has_value());
+    EXPECT_TRUE(t.erase(Key64{42}));
+    EXPECT_FALSE(t.lookup(Key64{42}).has_value());
+    EXPECT_FALSE(t.erase(Key64{42}));
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(CuckooHash, UpdateOverwrites)
+{
+    SimMemory mem;
+    CuckooHash<Key64, std::uint32_t> t(mem, 64);
+    EXPECT_TRUE(t.insert(Key64{1}, 10));
+    EXPECT_TRUE(t.insert(Key64{1}, 20));
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(*t.lookup(Key64{1}), 20u);
+}
+
+TEST(CuckooHash, MatchesUnorderedMapUnderChurn)
+{
+    SimMemory mem;
+    CuckooHash<Key64, std::uint64_t> t(mem, 4096);
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Xorshift64 rng(99);
+
+    for (int op = 0; op < 20000; ++op) {
+        std::uint64_t k = rng.next_below(3000);
+        switch (rng.next_below(3)) {
+          case 0: {
+            std::uint64_t v = rng.next();
+            if (t.insert(Key64{k}, v))
+                ref[k] = v;
+            break;
+          }
+          case 1:
+            EXPECT_EQ(t.erase(Key64{k}), ref.erase(k) > 0);
+            break;
+          default: {
+            auto got = t.lookup(Key64{k});
+            auto it = ref.find(k);
+            if (it == ref.end()) {
+                EXPECT_FALSE(got.has_value());
+            } else {
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(*got, it->second);
+            }
+          }
+        }
+    }
+    EXPECT_EQ(t.size(), ref.size());
+}
+
+TEST(CuckooHash, HandlesKicksAtHighLoad)
+{
+    SimMemory mem;
+    CuckooHash<Key64, std::uint32_t> t(mem, 512);
+    // Insert up to ~70% of raw capacity; displacement must kick in
+    // without losing any key.
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(t.num_buckets() * 4 * 7 / 10);
+    for (std::uint32_t i = 0; i < n; ++i)
+        ASSERT_TRUE(t.insert(Key64{i * 2654435761ull}, i)) << i;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto v = t.lookup(Key64{i * 2654435761ull});
+        ASSERT_TRUE(v.has_value()) << i;
+        EXPECT_EQ(*v, i);
+    }
+}
+
+TEST(CuckooHash, FiveTupleKeys)
+{
+    SimMemory mem;
+    CuckooHash<FiveTuple, std::uint64_t> t(mem, 1024);
+    FiveTuple a{};
+    a.src_ip = Ipv4Addr::make(10, 0, 0, 1);
+    a.dst_ip = Ipv4Addr::make(10, 0, 0, 2);
+    a.src_port = 1234;
+    a.dst_port = 80;
+    a.proto = kIpProtoTcp;
+    EXPECT_TRUE(t.insert(a, 99));
+    FiveTuple b = a;
+    EXPECT_EQ(*t.lookup(b), 99u);
+    b.src_port = 1235;
+    EXPECT_FALSE(t.lookup(b).has_value());
+}
+
+TEST(CuckooHash, ReportsAccesses)
+{
+    SimMemory mem;
+    CuckooHash<Key64, std::uint32_t> t(mem, 64);
+    CountingSink sink;
+    t.insert(Key64{5}, 1, &sink);
+    EXPECT_GT(sink.loads + sink.stores, 0);
+    int loads_before = sink.loads;
+    t.lookup(Key64{5}, &sink);
+    EXPECT_GT(sink.loads, loads_before);
+}
+
+TEST(NaiveLpm, BasicLongestMatch)
+{
+    NaiveLpm t;
+    t.add({Ipv4Addr::make(10, 0, 0, 0), 8, 1});
+    t.add({Ipv4Addr::make(10, 1, 0, 0), 16, 2});
+    t.add({Ipv4Addr::make(10, 1, 1, 0), 24, 3});
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(10, 9, 9, 9)), 1u);
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(10, 1, 9, 9)), 2u);
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(10, 1, 1, 9)), 3u);
+    EXPECT_FALSE(t.lookup(Ipv4Addr::make(11, 0, 0, 1)).has_value());
+}
+
+TEST(Dir24_8, ShortPrefixes)
+{
+    SimMemory mem;
+    Dir24_8 t(mem);
+    EXPECT_TRUE(t.add({Ipv4Addr::make(10, 0, 0, 0), 8, 1}));
+    EXPECT_TRUE(t.add({Ipv4Addr::make(10, 1, 0, 0), 16, 2}));
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(10, 200, 0, 1)), 1u);
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(10, 1, 3, 4)), 2u);
+    EXPECT_FALSE(t.lookup(Ipv4Addr::make(9, 0, 0, 1)).has_value());
+}
+
+TEST(Dir24_8, LongPrefixesUseTbl8)
+{
+    SimMemory mem;
+    Dir24_8 t(mem);
+    EXPECT_TRUE(t.add({Ipv4Addr::make(10, 0, 0, 0), 24, 1}));
+    EXPECT_TRUE(t.add({Ipv4Addr::make(10, 0, 0, 128), 25, 2}));
+    EXPECT_TRUE(t.add({Ipv4Addr::make(10, 0, 0, 200), 32, 3}));
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(10, 0, 0, 1)), 1u);
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(10, 0, 0, 129)), 2u);
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(10, 0, 0, 200)), 3u);
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(10, 0, 0, 201)), 2u);
+}
+
+TEST(Dir24_8, DefaultRoute)
+{
+    SimMemory mem;
+    Dir24_8 t(mem);
+    EXPECT_TRUE(t.add({Ipv4Addr::make(0, 0, 0, 0), 0, 42}));
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(1, 2, 3, 4)), 42u);
+    EXPECT_TRUE(t.add({Ipv4Addr::make(1, 0, 0, 0), 8, 7}));
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(1, 2, 3, 4)), 7u);
+    EXPECT_EQ(*t.lookup(Ipv4Addr::make(2, 2, 3, 4)), 42u);
+}
+
+TEST(Dir24_8, InsertionOrderIndependent)
+{
+    SimMemory mem;
+    Dir24_8 a(mem), b(mem);
+    std::vector<Route> routes = {
+        {Ipv4Addr::make(10, 0, 0, 0), 8, 1},
+        {Ipv4Addr::make(10, 1, 0, 0), 16, 2},
+        {Ipv4Addr::make(10, 1, 1, 128), 25, 3},
+    };
+    for (const auto &r : routes)
+        EXPECT_TRUE(a.add(r));
+    for (auto it = routes.rbegin(); it != routes.rend(); ++it)
+        EXPECT_TRUE(b.add(*it));
+    for (std::uint32_t probe :
+         {0x0A000001u, 0x0A010101u, 0x0A010181u, 0x0AFFFFFFu}) {
+        EXPECT_EQ(a.lookup(Ipv4Addr{probe}), b.lookup(Ipv4Addr{probe}));
+    }
+}
+
+TEST(Dir24_8, AccountsOneOrTwoAccesses)
+{
+    SimMemory mem;
+    Dir24_8 t(mem);
+    t.add({Ipv4Addr::make(10, 0, 0, 0), 8, 1});
+    t.add({Ipv4Addr::make(20, 0, 0, 128), 25, 2});
+
+    CountingSink s1;
+    t.lookup(Ipv4Addr::make(10, 1, 1, 1), &s1);
+    EXPECT_EQ(s1.loads, 1);
+
+    CountingSink s2;
+    t.lookup(Ipv4Addr::make(20, 0, 0, 130), &s2);
+    EXPECT_EQ(s2.loads, 2);
+}
+
+TEST(Dir24_8, MatchesNaiveOnRandomRouteSets)
+{
+    SimMemory mem;
+    Dir24_8 fast(mem, 1024);
+    NaiveLpm ref;
+    Xorshift64 rng(2026);
+
+    for (int i = 0; i < 200; ++i) {
+        Route r;
+        r.prefix = Ipv4Addr{static_cast<std::uint32_t>(rng.next())};
+        r.prefix_len = static_cast<std::uint8_t>(1 + rng.next_below(32));
+        r.next_hop = static_cast<std::uint16_t>(rng.next_below(100));
+        // Normalize the prefix to its network address.
+        const std::uint32_t mask =
+            r.prefix_len == 0 ? 0 : ~0u << (32 - r.prefix_len);
+        r.prefix.value &= mask;
+        ref.add(r);
+        ASSERT_TRUE(fast.add(r));
+    }
+    for (int i = 0; i < 20000; ++i) {
+        Ipv4Addr probe{static_cast<std::uint32_t>(rng.next())};
+        EXPECT_EQ(fast.lookup(probe), ref.lookup(probe))
+            << probe.to_string();
+    }
+}
+
+} // namespace
+} // namespace pmill

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the differential equivalence verifier (§5's verification
+ * stage) and the profile-guided classifier specialization: every
+ * PacketMill optimization must be semantics-preserving, and the
+ * verifier must be able to tell when two builds are NOT equivalent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/elements/elements.hh"
+#include "src/mill/verify.hh"
+#include "src/runtime/experiments.hh"
+
+namespace pmill {
+namespace {
+
+TEST(Verify, VanillaEqualsItself)
+{
+    Trace t = make_fixed_size_trace(256, 256, 32);
+    EquivalenceReport r = verify_equivalence(
+        forwarder_config(), opts_vanilla(), opts_vanilla(), t, 400.0);
+    EXPECT_TRUE(r.equivalent) << r.to_string();
+    EXPECT_GT(r.frames_a, 100u);
+    EXPECT_EQ(r.frames_a, r.frames_b);
+}
+
+TEST(Verify, PacketMillPreservesForwarderSemantics)
+{
+    Trace t = make_fixed_size_trace(512, 256, 32);
+    EquivalenceReport r = verify_equivalence(
+        forwarder_config(), opts_vanilla(), opts_packetmill(), t, 400.0);
+    EXPECT_TRUE(r.equivalent) << r.to_string();
+}
+
+TEST(Verify, PacketMillPreservesRouterSemantics)
+{
+    Trace t = make_campus_trace({512, 128, 5});
+    EquivalenceReport r = verify_equivalence(
+        router_config(), opts_vanilla(), opts_packetmill(), t, 500.0);
+    EXPECT_TRUE(r.equivalent) << r.to_string();
+}
+
+TEST(Verify, ReorderingPreservesRouterSemantics)
+{
+    Trace t = make_campus_trace({512, 128, 9});
+    EquivalenceReport r = verify_equivalence(
+        router_config(), opts_vanilla(), opts_lto_reorder(), t, 500.0);
+    EXPECT_TRUE(r.equivalent) << r.to_string();
+}
+
+TEST(Verify, AllMetadataModelsAgreeOnNat)
+{
+    Trace t = make_campus_trace({512, 64, 2, 0.12, 0.0, 0.0});
+    for (MetadataModel m :
+         {MetadataModel::kOverlaying, MetadataModel::kXchange}) {
+        EquivalenceReport r = verify_equivalence(
+            nat_config(), opts_model(MetadataModel::kCopying),
+            opts_model(m), t, 500.0);
+        EXPECT_TRUE(r.equivalent)
+            << metadata_model_name(m) << ": " << r.to_string();
+    }
+}
+
+TEST(Verify, DetectsDifferentNfs)
+{
+    // A forwarder (mirrors MACs) and a router (decrements TTL,
+    // rewrites MACs to fixed values) transform packets differently;
+    // the cross-config verifier must flag that.
+    Trace t = make_fixed_size_trace(256, 128, 16);
+    EquivalenceReport r =
+        verify_equivalence(forwarder_config(), opts_vanilla(),
+                           router_config(), opts_vanilla(), t, 400.0);
+    EXPECT_FALSE(r.equivalent);
+    EXPECT_GT(r.mismatches, 0u);
+    EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(Pgo, SpecializationReordersMatchOrderAndPreservesPorts)
+{
+    // IP-dominated traffic: the router's Classifier(ARP, IP) should
+    // move IP to the front of the match order.
+    CampusTraceConfig cfg;
+    cfg.num_packets = 512;
+    cfg.frac_arp = 0.01;
+    Trace t = make_campus_trace(cfg);
+
+    MachineConfig m;
+    Engine engine(m, router_config(), opts_vanilla(), t);
+    auto *cl =
+        dynamic_cast<Classifier *>(engine.pipeline().find_class("Classifier"));
+    ASSERT_NE(cl, nullptr);
+    ASSERT_EQ(cl->match_order()[0], 0u) << "config order: ARP first";
+
+    const std::uint32_t n = PacketMill::profile_guided(engine, 200.0);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(cl->match_order()[0], 1u)
+        << "IP-dominated profile must move IP to the front";
+
+    // Semantics unchanged: the specialized build still equals vanilla.
+    EquivalenceReport r = verify_equivalence(
+        router_config(), opts_vanilla(), opts_vanilla(), t, 300.0);
+    EXPECT_TRUE(r.equivalent) << r.to_string();
+}
+
+TEST(Pgo, HitCountersTrackTraffic)
+{
+    CampusTraceConfig cfg;
+    cfg.num_packets = 256;
+    cfg.frac_arp = 0.3;  // ARP-heavy
+    Trace t = make_campus_trace(cfg);
+    MachineConfig m;
+    Engine engine(m, router_config(), opts_vanilla(), t);
+    RunConfig rc;
+    rc.offered_gbps = 10;
+    rc.warmup_us = 50;
+    rc.duration_us = 200;
+    engine.run(rc);
+    auto *cl =
+        dynamic_cast<Classifier *>(engine.pipeline().find_class("Classifier"));
+    ASSERT_NE(cl, nullptr);
+    EXPECT_GT(cl->hits()[0], 0u) << "ARP hits recorded";
+    EXPECT_GT(cl->hits()[1], 0u) << "IP hits recorded";
+    EXPECT_GT(cl->hits()[1], cl->hits()[0] * 2)
+        << "IP still dominates at 30% ARP";
+}
+
+} // namespace
+} // namespace pmill
