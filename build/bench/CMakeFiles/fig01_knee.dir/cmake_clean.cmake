@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_knee.dir/fig01_knee.cc.o"
+  "CMakeFiles/fig01_knee.dir/fig01_knee.cc.o.d"
+  "fig01_knee"
+  "fig01_knee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_knee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_codeopt.dir/fig04_codeopt.cc.o"
+  "CMakeFiles/fig04_codeopt.dir/fig04_codeopt.cc.o.d"
+  "fig04_codeopt"
+  "fig04_codeopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_codeopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_codeopt.
+# This may be replaced when dependencies are built.

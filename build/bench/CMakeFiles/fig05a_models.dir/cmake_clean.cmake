@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05a_models.dir/fig05a_models.cc.o"
+  "CMakeFiles/fig05a_models.dir/fig05a_models.cc.o.d"
+  "fig05a_models"
+  "fig05a_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05a_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

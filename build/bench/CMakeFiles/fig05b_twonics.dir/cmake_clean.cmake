@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05b_twonics.dir/fig05b_twonics.cc.o"
+  "CMakeFiles/fig05b_twonics.dir/fig05b_twonics.cc.o.d"
+  "fig05b_twonics"
+  "fig05b_twonics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05b_twonics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

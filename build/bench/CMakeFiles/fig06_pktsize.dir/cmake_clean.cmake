@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pktsize.dir/fig06_pktsize.cc.o"
+  "CMakeFiles/fig06_pktsize.dir/fig06_pktsize.cc.o.d"
+  "fig06_pktsize"
+  "fig06_pktsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pktsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_workpackage.dir/fig07_workpackage.cc.o"
+  "CMakeFiles/fig07_workpackage.dir/fig07_workpackage.cc.o.d"
+  "fig07_workpackage"
+  "fig07_workpackage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_workpackage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ids.dir/fig08_ids.cc.o"
+  "CMakeFiles/fig08_ids.dir/fig08_ids.cc.o.d"
+  "fig08_ids"
+  "fig08_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

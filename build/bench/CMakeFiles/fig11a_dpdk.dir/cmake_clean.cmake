@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_dpdk.dir/fig11a_dpdk.cc.o"
+  "CMakeFiles/fig11a_dpdk.dir/fig11a_dpdk.cc.o.d"
+  "fig11a_dpdk"
+  "fig11a_dpdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_dpdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_frameworks.dir/fig11b_frameworks.cc.o"
+  "CMakeFiles/fig11b_frameworks.dir/fig11b_frameworks.cc.o.d"
+  "fig11b_frameworks"
+  "fig11b_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

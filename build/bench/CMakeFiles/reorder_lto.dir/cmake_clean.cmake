@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_lto.dir/reorder_lto.cc.o"
+  "CMakeFiles/reorder_lto.dir/reorder_lto.cc.o.d"
+  "reorder_lto"
+  "reorder_lto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_lto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_microarch.dir/table1_microarch.cc.o"
+  "CMakeFiles/table1_microarch.dir/table1_microarch.cc.o.d"
+  "table1_microarch"
+  "table1_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

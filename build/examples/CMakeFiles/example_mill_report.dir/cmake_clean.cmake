@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mill_report.dir/mill_report.cpp.o"
+  "CMakeFiles/example_mill_report.dir/mill_report.cpp.o.d"
+  "example_mill_report"
+  "example_mill_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mill_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

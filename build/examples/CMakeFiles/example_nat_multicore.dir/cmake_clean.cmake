@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nat_multicore.dir/nat_multicore.cpp.o"
+  "CMakeFiles/example_nat_multicore.dir/nat_multicore.cpp.o.d"
+  "example_nat_multicore"
+  "example_nat_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nat_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pmill_run.dir/pmill_run.cpp.o"
+  "CMakeFiles/example_pmill_run.dir/pmill_run.cpp.o.d"
+  "example_pmill_run"
+  "example_pmill_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pmill_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_pmill_run.
+# This may be replaced when dependencies are built.

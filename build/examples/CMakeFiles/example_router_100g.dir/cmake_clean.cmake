@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_router_100g.dir/router_100g.cpp.o"
+  "CMakeFiles/example_router_100g.dir/router_100g.cpp.o.d"
+  "example_router_100g"
+  "example_router_100g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_router_100g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

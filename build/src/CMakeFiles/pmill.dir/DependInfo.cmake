@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/pmill.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/pmill.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/pmill.dir/common/log.cc.o" "gcc" "src/CMakeFiles/pmill.dir/common/log.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/pmill.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/pmill.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/CMakeFiles/pmill.dir/common/units.cc.o" "gcc" "src/CMakeFiles/pmill.dir/common/units.cc.o.d"
+  "/root/repo/src/driver/mempool.cc" "src/CMakeFiles/pmill.dir/driver/mempool.cc.o" "gcc" "src/CMakeFiles/pmill.dir/driver/mempool.cc.o.d"
+  "/root/repo/src/driver/pmd.cc" "src/CMakeFiles/pmill.dir/driver/pmd.cc.o" "gcc" "src/CMakeFiles/pmill.dir/driver/pmd.cc.o.d"
+  "/root/repo/src/elements/advanced.cc" "src/CMakeFiles/pmill.dir/elements/advanced.cc.o" "gcc" "src/CMakeFiles/pmill.dir/elements/advanced.cc.o.d"
+  "/root/repo/src/elements/args.cc" "src/CMakeFiles/pmill.dir/elements/args.cc.o" "gcc" "src/CMakeFiles/pmill.dir/elements/args.cc.o.d"
+  "/root/repo/src/elements/basic.cc" "src/CMakeFiles/pmill.dir/elements/basic.cc.o" "gcc" "src/CMakeFiles/pmill.dir/elements/basic.cc.o.d"
+  "/root/repo/src/elements/ip.cc" "src/CMakeFiles/pmill.dir/elements/ip.cc.o" "gcc" "src/CMakeFiles/pmill.dir/elements/ip.cc.o.d"
+  "/root/repo/src/elements/register.cc" "src/CMakeFiles/pmill.dir/elements/register.cc.o" "gcc" "src/CMakeFiles/pmill.dir/elements/register.cc.o.d"
+  "/root/repo/src/framework/config_parser.cc" "src/CMakeFiles/pmill.dir/framework/config_parser.cc.o" "gcc" "src/CMakeFiles/pmill.dir/framework/config_parser.cc.o.d"
+  "/root/repo/src/framework/datapath.cc" "src/CMakeFiles/pmill.dir/framework/datapath.cc.o" "gcc" "src/CMakeFiles/pmill.dir/framework/datapath.cc.o.d"
+  "/root/repo/src/framework/element.cc" "src/CMakeFiles/pmill.dir/framework/element.cc.o" "gcc" "src/CMakeFiles/pmill.dir/framework/element.cc.o.d"
+  "/root/repo/src/framework/exec_context.cc" "src/CMakeFiles/pmill.dir/framework/exec_context.cc.o" "gcc" "src/CMakeFiles/pmill.dir/framework/exec_context.cc.o.d"
+  "/root/repo/src/framework/metadata.cc" "src/CMakeFiles/pmill.dir/framework/metadata.cc.o" "gcc" "src/CMakeFiles/pmill.dir/framework/metadata.cc.o.d"
+  "/root/repo/src/framework/pipeline.cc" "src/CMakeFiles/pmill.dir/framework/pipeline.cc.o" "gcc" "src/CMakeFiles/pmill.dir/framework/pipeline.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/pmill.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/pmill.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/sim_memory.cc" "src/CMakeFiles/pmill.dir/mem/sim_memory.cc.o" "gcc" "src/CMakeFiles/pmill.dir/mem/sim_memory.cc.o.d"
+  "/root/repo/src/mill/packet_mill.cc" "src/CMakeFiles/pmill.dir/mill/packet_mill.cc.o" "gcc" "src/CMakeFiles/pmill.dir/mill/packet_mill.cc.o.d"
+  "/root/repo/src/mill/source_gen.cc" "src/CMakeFiles/pmill.dir/mill/source_gen.cc.o" "gcc" "src/CMakeFiles/pmill.dir/mill/source_gen.cc.o.d"
+  "/root/repo/src/mill/verify.cc" "src/CMakeFiles/pmill.dir/mill/verify.cc.o" "gcc" "src/CMakeFiles/pmill.dir/mill/verify.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/CMakeFiles/pmill.dir/net/checksum.cc.o" "gcc" "src/CMakeFiles/pmill.dir/net/checksum.cc.o.d"
+  "/root/repo/src/net/flow.cc" "src/CMakeFiles/pmill.dir/net/flow.cc.o" "gcc" "src/CMakeFiles/pmill.dir/net/flow.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/CMakeFiles/pmill.dir/net/headers.cc.o" "gcc" "src/CMakeFiles/pmill.dir/net/headers.cc.o.d"
+  "/root/repo/src/net/packet_builder.cc" "src/CMakeFiles/pmill.dir/net/packet_builder.cc.o" "gcc" "src/CMakeFiles/pmill.dir/net/packet_builder.cc.o.d"
+  "/root/repo/src/nic/nic_device.cc" "src/CMakeFiles/pmill.dir/nic/nic_device.cc.o" "gcc" "src/CMakeFiles/pmill.dir/nic/nic_device.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/CMakeFiles/pmill.dir/runtime/engine.cc.o" "gcc" "src/CMakeFiles/pmill.dir/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/experiments.cc" "src/CMakeFiles/pmill.dir/runtime/experiments.cc.o" "gcc" "src/CMakeFiles/pmill.dir/runtime/experiments.cc.o.d"
+  "/root/repo/src/table/lpm.cc" "src/CMakeFiles/pmill.dir/table/lpm.cc.o" "gcc" "src/CMakeFiles/pmill.dir/table/lpm.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/pmill.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/pmill.dir/trace/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/pmill_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/pmill_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_elements.cc" "tests/CMakeFiles/pmill_tests.dir/test_elements.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_elements.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/pmill_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_framework.cc" "tests/CMakeFiles/pmill_tests.dir/test_framework.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_framework.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/pmill_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/pmill_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/pmill_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_mill.cc" "tests/CMakeFiles/pmill_tests.dir/test_mill.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_mill.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/pmill_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/pmill_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_source_gen.cc" "tests/CMakeFiles/pmill_tests.dir/test_source_gen.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_source_gen.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/pmill_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/pmill_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_verify.cc" "tests/CMakeFiles/pmill_tests.dir/test_verify.cc.o" "gcc" "tests/CMakeFiles/pmill_tests.dir/test_verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmill.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
