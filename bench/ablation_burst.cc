@@ -10,8 +10,8 @@
 
 #include <cstdio>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -20,9 +20,11 @@ main()
 {
     const Trace trace = default_campus_trace();
 
-    TablePrinter t;
-    t.header({"Burst", "Vanilla Gbps", "Vanilla p99(us)",
-              "PacketMill Gbps", "PacketMill p99(us)"});
+    BenchReport rep(
+        "ablation_burst",
+        "Ablation: RX burst size, router @ 2.3 GHz, 60 Gbps offered");
+    rep.header({"Burst", "Vanilla Gbps", "Vanilla p99(us)",
+                "PacketMill Gbps", "PacketMill p99(us)"});
     for (std::uint32_t burst : {4u, 8u, 16u, 32u, 64u}) {
         std::vector<std::string> row = {strprintf("%u", burst)};
         for (PipelineOpts o : {opts_vanilla(), opts_packetmill()}) {
@@ -36,11 +38,11 @@ main()
             row.push_back(strprintf("%.1f", r.throughput_gbps));
             row.push_back(strprintf("%.2f", r.p99_latency_us));
         }
-        t.row(row);
+        rep.row(row);
     }
-    t.print("Ablation: RX burst size, router @ 2.3 GHz, 60 Gbps offered");
-    std::printf("\nExpectation: small bursts lose throughput to "
-                "per-burst overhead; beyond ~32 the gains flatten while "
-                "batching delay grows.\n");
+    rep.note("Expectation: small bursts lose throughput to "
+             "per-burst overhead; beyond ~32 the gains flatten while "
+             "batching delay grows.");
+    rep.emit();
     return 0;
 }

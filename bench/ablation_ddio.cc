@@ -10,8 +10,8 @@
 
 #include <cstdio>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -21,9 +21,11 @@ main()
     const Trace trace = make_fixed_size_trace(1024, 2048, 512);
     const std::string config = forwarder_config();
 
-    TablePrinter t;
-    t.header({"Model", "DDIO ways", "Throughput(Gbps)", "p99(us)",
-              "LLC kmiss/100ms", "TX DMA reads from DRAM"});
+    BenchReport rep(
+        "ablation_ddio",
+        "Ablation: IIO LLC WAYS (DDIO) setting, forwarder @ 2.3 GHz");
+    rep.header({"Model", "DDIO ways", "Throughput(Gbps)", "p99(us)",
+                "LLC kmiss/100ms", "TX DMA reads from DRAM"});
     for (MetadataModel model :
          {MetadataModel::kCopying, MetadataModel::kXchange}) {
         for (std::uint32_t ways : {2u, 8u}) {
@@ -42,20 +44,20 @@ main()
                     ? 100.0 * static_cast<double>(r.mem.dev_reads_dram) /
                           static_cast<double>(r.mem.dev_reads)
                     : 0.0;
-            t.row({metadata_model_name(model), strprintf("%u", ways),
-                   strprintf("%.1f", r.throughput_gbps),
-                   strprintf("%.1f", r.p99_latency_us),
-                   strprintf("%.1f", r.llc_kmisses_per_100ms),
-                   strprintf("%.1f%%", dram_pct)});
+            rep.row({metadata_model_name(model), strprintf("%u", ways),
+                     strprintf("%.1f", r.throughput_gbps),
+                     strprintf("%.1f", r.p99_latency_us),
+                     strprintf("%.1f", r.llc_kmisses_per_100ms),
+                     strprintf("%.1f%%", dram_pct)});
         }
     }
-    t.print("Ablation: IIO LLC WAYS (DDIO) setting, forwarder @ 2.3 GHz");
-    std::printf("\nExpectation: with restricted (2-way) DDIO, frames "
-                "wait out the deep RX/TX rings and spill to DRAM before "
-                "the NIC reads them back; 8 ways keeps them LLC-resident. "
-                "Application-visible throughput moves little when the NF "
-                "consumes promptly — consistent with the paper enlarging "
-                "IIO LLC WAYS as a precaution against DDIO becoming a "
-                "bottleneck rather than as a speedup.\n");
+    rep.note("Expectation: with restricted (2-way) DDIO, frames "
+             "wait out the deep RX/TX rings and spill to DRAM before "
+             "the NIC reads them back; 8 ways keeps them LLC-resident. "
+             "Application-visible throughput moves little when the NF "
+             "consumes promptly — consistent with the paper enlarging "
+             "IIO LLC WAYS as a precaution against DDIO becoming a "
+             "bottleneck rather than as a speedup.");
+    rep.emit();
     return 0;
 }

@@ -8,11 +8,10 @@
  * throughput capping under overload.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -24,9 +23,10 @@ main()
     const std::vector<double> offered = {10, 20, 30, 40, 50, 55,
                                          60, 70, 80, 90, 100};
 
-    TablePrinter t;
-    t.header({"Offered(Gbps)", "Vanilla Thr", "Vanilla p99(us)",
-              "PacketMill Thr", "PacketMill p99(us)"});
+    BenchReport rep("fig01_knee",
+                    "Figure 1: p99 latency vs throughput, router @ 2.3 GHz");
+    rep.header({"Offered(Gbps)", "Vanilla Thr", "Vanilla p99(us)",
+                "PacketMill Thr", "PacketMill p99(us)"});
     for (double load : offered) {
         std::vector<std::string> row = {strprintf("%.0f", load)};
         for (const PipelineOpts &o : {opts_vanilla(), opts_packetmill()}) {
@@ -39,11 +39,11 @@ main()
             row.push_back(strprintf("%.1f", r.throughput_gbps));
             row.push_back(strprintf("%.1f", r.p99_latency_us));
         }
-        t.row(row);
+        rep.row(row);
     }
-    t.print("Figure 1: p99 latency vs throughput, router @ 2.3 GHz");
-    std::printf("\nPaper reference: PacketMill's knee sits at a higher "
-                "throughput and lower latency; past saturation the "
-                "achieved throughput stays capped while p99 explodes.\n");
+    rep.note("Paper reference: PacketMill's knee sits at a higher "
+             "throughput and lower latency; past saturation the "
+             "achieved throughput stays capped while p99 explodes.");
+    rep.emit();
     return 0;
 }

@@ -10,8 +10,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -34,7 +34,11 @@ main()
     };
     const std::vector<double> freqs = {1.2, 1.6, 2.0, 2.3, 2.6, 3.0};
 
-    TablePrinter thr, lat;
+    BenchReport thr("fig04_codeopt_throughput",
+                    "Figure 4 (top): router throughput (Gbps) vs frequency");
+    BenchReport lat(
+        "fig04_codeopt_latency",
+        "Figure 4 (bottom): router median latency (us) vs frequency");
     std::vector<std::string> header = {"Freq(GHz)"};
     for (const auto &v : variants)
         header.push_back(v.name);
@@ -57,10 +61,10 @@ main()
         lat.row(lrow);
     }
 
-    thr.print("Figure 4 (top): router throughput (Gbps) vs frequency");
-    lat.print("Figure 4 (bottom): router median latency (us) vs frequency");
-    std::printf("\nPaper reference: Vanilla(f)=6.9+22.5f Gbps, "
-                "All(f)=2.9+28.7f Gbps; All > StaticGraph > Constant "
-                ">= Devirt > Vanilla throughout.\n");
+    thr.note("Paper reference: Vanilla(f)=6.9+22.5f Gbps, "
+             "All(f)=2.9+28.7f Gbps; All > StaticGraph > Constant "
+             ">= Devirt > Vanilla throughout.");
+    thr.emit();
+    lat.emit();
     return 0;
 }

@@ -9,8 +9,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -21,8 +21,10 @@ main()
     const std::string config = forwarder_config();
     const std::vector<double> freqs = {1.2, 1.6, 2.0, 2.2, 2.4, 2.6, 3.0};
 
-    TablePrinter t;
-    t.header({"Freq(GHz)", "Copying", "Overlaying", "X-Change"});
+    BenchReport rep(
+        "fig05a_models",
+        "Figure 5a: forwarder throughput (Gbps), one NIC / one core");
+    rep.header({"Freq(GHz)", "Copying", "Overlaying", "X-Change"});
     for (double f : freqs) {
         std::vector<std::string> row = {strprintf("%.1f", f)};
         for (MetadataModel m :
@@ -35,11 +37,11 @@ main()
             RunResult r = measure(spec, trace);
             row.push_back(strprintf("%.1f", r.throughput_gbps));
         }
-        t.row(row);
+        rep.row(row);
     }
-    t.print("Figure 5a: forwarder throughput (Gbps), one NIC / one core");
-    std::printf("\nPaper reference: X-Change saturates the link first "
-                "(~2.2 GHz), then Overlaying (~2.6 GHz); Copying trails "
-                "throughout.\n");
+    rep.note("Paper reference: X-Change saturates the link first "
+             "(~2.2 GHz), then Overlaying (~2.6 GHz); Copying trails "
+             "throughout.");
+    rep.emit();
     return 0;
 }

@@ -8,8 +8,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -20,8 +20,10 @@ main()
     const std::string config = forwarder_config();
     const std::vector<double> freqs = {1.2, 1.6, 2.0, 2.2, 2.4, 2.6, 3.0};
 
-    TablePrinter t;
-    t.header({"Freq(GHz)", "Copying", "Overlaying", "X-Change"});
+    BenchReport rep(
+        "fig05b_twonics",
+        "Figure 5b: total throughput (Gbps), two NICs / one core");
+    rep.header({"Freq(GHz)", "Copying", "Overlaying", "X-Change"});
     for (double f : freqs) {
         std::vector<std::string> row = {strprintf("%.1f", f)};
         for (MetadataModel m :
@@ -35,10 +37,10 @@ main()
             RunResult r = measure(spec, trace);
             row.push_back(strprintf("%.1f", r.throughput_gbps));
         }
-        t.row(row);
+        rep.row(row);
     }
-    t.print("Figure 5b: total throughput (Gbps), two NICs / one core");
-    std::printf("\nPaper reference: only X-Change exceeds 100 Gbps "
-                "(~120 Gbps at 3 GHz).\n");
+    rep.note("Paper reference: only X-Change exceeds 100 Gbps "
+             "(~120 Gbps at 3 GHz).");
+    rep.emit();
     return 0;
 }

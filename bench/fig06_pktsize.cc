@@ -9,8 +9,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -22,9 +22,10 @@ main()
                                               576, 704,  832,  960, 1088,
                                               1216, 1344, 1472};
 
-    TablePrinter t;
-    t.header({"Size(B)", "Vanilla Gbps", "PacketMill Gbps", "Vanilla Mpps",
-              "PacketMill Mpps"});
+    BenchReport rep("fig06_pktsize",
+                    "Figure 6: router @ 2.3 GHz, fixed-size packets");
+    rep.header({"Size(B)", "Vanilla Gbps", "PacketMill Gbps", "Vanilla Mpps",
+                "PacketMill Mpps"});
     for (std::uint32_t size : sizes) {
         const Trace trace = make_fixed_size_trace(size, 2048, 512);
         std::vector<std::string> row = {strprintf("%u", size)};
@@ -39,11 +40,11 @@ main()
             pps.push_back(strprintf("%.2f", r.mpps));
         }
         row.insert(row.end(), pps.begin(), pps.end());
-        t.row(row);
+        rep.row(row);
     }
-    t.print("Figure 6: router @ 2.3 GHz, fixed-size packets");
-    std::printf("\nPaper reference: PacketMill leads in pps at every "
-                "size; Gbps saturates near line rate for large frames, "
-                "and pps rolls off past ~800 B due to PCIe.\n");
+    rep.note("Paper reference: PacketMill leads in pps at every "
+             "size; Gbps saturates near line rate for large frames, "
+             "and pps rolls off past ~800 B due to PCIe.");
+    rep.emit();
     return 0;
 }

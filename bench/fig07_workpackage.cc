@@ -10,8 +10,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -23,11 +23,15 @@ main()
     const std::vector<std::uint32_t> s_values = {1, 4, 8, 16};
 
     for (std::uint32_t n : {1u, 5u}) {
-        TablePrinter t;
+        BenchReport rep(
+            strprintf("fig07_workpackage_n%u", n),
+            strprintf("Figure 7%s: improvement %% (vanilla Gbps), "
+                      "N=%u access/packet, WorkPackage @ 2.3 GHz",
+                      n == 1 ? "a" : "b", n));
         std::vector<std::string> header = {"W \\ S(MiB)"};
         for (auto s : s_values)
             header.push_back(strprintf("%u", s));
-        t.header(header);
+        rep.header(header);
 
         for (auto w : w_values) {
             std::vector<std::string> row = {strprintf("%u", w)};
@@ -44,15 +48,14 @@ main()
                 row.push_back(strprintf("%+.0f%% (%.0fG)",
                                         (p / v - 1.0) * 100.0, v));
             }
-            t.row(row);
+            rep.row(row);
         }
-        t.print(strprintf("Figure 7%s: improvement %% (vanilla Gbps), "
-                          "N=%u access/packet, WorkPackage @ 2.3 GHz",
-                          n == 1 ? "a" : "b", n));
+        if (n == 5)
+            rep.note("Paper reference: gains of ~10-60% that shrink as "
+                     "W, S, or N grow (less I/O-bound => less PacketMill "
+                     "headroom); N=5 degrades vanilla throughput and the "
+                     "gains faster than N=1.");
+        rep.emit();
     }
-    std::printf("\nPaper reference: gains of ~10-60%% that shrink as W, "
-                "S, or N grow (less I/O-bound => less PacketMill "
-                "headroom); N=5 degrades vanilla throughput and the "
-                "gains faster than N=1.\n");
     return 0;
 }

@@ -8,8 +8,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -20,9 +20,10 @@ main()
     const std::string config = ids_router_config();
     const std::vector<double> freqs = {1.2, 1.6, 2.0, 2.3, 2.6, 3.0};
 
-    TablePrinter t;
-    t.header({"Freq(GHz)", "Vanilla Gbps", "PacketMill Gbps",
-              "Vanilla lat(us)", "PacketMill lat(us)"});
+    BenchReport rep("fig08_ids",
+                    "Figure 8: IDS+router+VLAN, throughput & median latency");
+    rep.header({"Freq(GHz)", "Vanilla Gbps", "PacketMill Gbps",
+                "Vanilla lat(us)", "PacketMill lat(us)"});
     for (double f : freqs) {
         std::vector<std::string> row = {strprintf("%.1f", f)};
         std::vector<std::string> lat;
@@ -36,11 +37,11 @@ main()
             lat.push_back(strprintf("%.1f", r.median_latency_us));
         }
         row.insert(row.end(), lat.begin(), lat.end());
-        t.row(row);
+        rep.row(row);
     }
-    t.print("Figure 8: IDS+router+VLAN, throughput & median latency");
-    std::printf("\nPaper reference: up to ~20%% higher throughput and "
-                "~17%% lower latency for PacketMill on this more "
-                "CPU-demanding NF.\n");
+    rep.note("Paper reference: up to ~20% higher throughput and "
+             "~17% lower latency for PacketMill on this more "
+             "CPU-demanding NF.");
+    rep.emit();
     return 0;
 }

@@ -12,8 +12,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -24,9 +24,11 @@ main()
     const std::vector<std::uint32_t> sizes = {1, 2, 3, 4, 6, 8,
                                               10, 12, 14, 16, 18, 20};
 
-    TablePrinter t;
-    t.header({"S(MiB)", "Vanilla Gbps", "PMill Gbps", "Vanilla miss%",
-              "PMill miss%", "Vanilla kLoads", "PMill kLoads"});
+    BenchReport rep("fig09_memory",
+                    "Figure 9: WorkPackage(N=1, W=4) memory-footprint "
+                    "sweep @ 2.3 GHz");
+    rep.header({"S(MiB)", "Vanilla Gbps", "PMill Gbps", "Vanilla miss%",
+                "PMill miss%", "Vanilla kLoads", "PMill kLoads"});
     for (auto s : sizes) {
         const std::string config = workpackage_config(s, 1, 4);
         std::vector<std::string> thr, miss, loads;
@@ -45,15 +47,14 @@ main()
             miss.push_back(strprintf("%.1f", pct));
             loads.push_back(strprintf("%.0f", r.llc_kloads_per_100ms));
         }
-        t.row({strprintf("%u", s), thr[0], thr[1], miss[0], miss[1],
-               loads[0], loads[1]});
+        rep.row({strprintf("%u", s), thr[0], thr[1], miss[0], miss[1],
+                 loads[0], loads[1]});
     }
-    t.print("Figure 9: WorkPackage(N=1, W=4) memory-footprint sweep "
-            "@ 2.3 GHz");
-    std::printf("\nPaper reference: throughput inversely tracks LLC "
-                "loads; loads saturate once S exceeds the private "
-                "caches; the miss%% climbs past the LLC threshold "
-                "(~14 MiB) while throughput degrades only mildly "
-                "(~90%% of loads still hit).\n");
+    rep.note("Paper reference: throughput inversely tracks LLC "
+             "loads; loads saturate once S exceeds the private "
+             "caches; the miss% climbs past the LLC threshold "
+             "(~14 MiB) while throughput degrades only mildly "
+             "(~90% of loads still hit).");
+    rep.emit();
     return 0;
 }

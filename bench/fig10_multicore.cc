@@ -8,8 +8,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -20,8 +20,9 @@ main()
     const Trace trace = make_fixed_size_trace(1024, 32768, 16384);
     const std::string config = nat_config();
 
-    TablePrinter t;
-    t.header({"Cores", "Vanilla Gbps", "PacketMill Gbps", "Improvement"});
+    BenchReport rep("fig10_multicore",
+                    "Figure 10: NAT throughput vs cores @ 2.3 GHz (RSS)");
+    rep.header({"Cores", "Vanilla Gbps", "PacketMill Gbps", "Improvement"});
     for (std::uint32_t cores = 1; cores <= 4; ++cores) {
         ExperimentSpec spec;
         spec.config = config;
@@ -32,13 +33,13 @@ main()
         const double v = measure(spec, trace).throughput_gbps;
         spec.opts = opts_packetmill();
         const double p = measure(spec, trace).throughput_gbps;
-        t.row({strprintf("%u", cores), strprintf("%.1f", v),
-               strprintf("%.1f", p),
-               strprintf("%+.0f%%", (p / v - 1.0) * 100.0)});
+        rep.row({strprintf("%u", cores), strprintf("%.1f", v),
+                 strprintf("%.1f", p),
+                 strprintf("%+.0f%%", (p / v - 1.0) * 100.0)});
     }
-    t.print("Figure 10: NAT throughput vs cores @ 2.3 GHz (RSS)");
-    std::printf("\nPaper reference: PacketMill's multicore gains are "
-                "comparable to its single-core gains; both scale with "
-                "cores until the link saturates.\n");
+    rep.note("Paper reference: PacketMill's multicore gains are "
+             "comparable to its single-core gains; both scale with "
+             "cores until the link saturates.");
+    rep.emit();
     return 0;
 }

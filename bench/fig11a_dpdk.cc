@@ -8,8 +8,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -31,11 +31,12 @@ main()
         {"l2fwd-xchg", opts_l2fwd_xchg()},
     };
 
-    TablePrinter t;
+    BenchReport rep("fig11a_dpdk",
+                    "Figure 11a: single-core forwarding @ 1.2 GHz (Gbps)");
     std::vector<std::string> header = {"Size(B)"};
     for (const auto &a : apps)
         header.push_back(a.name);
-    t.header(header);
+    rep.header(header);
 
     for (auto size : sizes) {
         const Trace trace = make_fixed_size_trace(size, 2048, 512);
@@ -48,11 +49,11 @@ main()
             RunResult r = measure(spec, trace);
             row.push_back(strprintf("%.1f", r.throughput_gbps));
         }
-        t.row(row);
+        rep.row(row);
     }
-    t.print("Figure 11a: single-core forwarding @ 1.2 GHz (Gbps)");
-    std::printf("\nPaper reference: l2fwd-xchg forwards up to ~59%% "
-                "faster than l2fwd; PacketMill beats even the bare "
-                "l2fwd despite running a full modular framework.\n");
+    rep.note("Paper reference: l2fwd-xchg forwards up to ~59% "
+             "faster than l2fwd; PacketMill beats even the bare "
+             "l2fwd despite running a full modular framework.");
+    rep.emit();
     return 0;
 }

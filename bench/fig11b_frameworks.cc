@@ -9,8 +9,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -33,11 +33,12 @@ main()
         {"PacketMill", opts_packetmill()},
     };
 
-    TablePrinter t;
+    BenchReport rep("fig11b_frameworks",
+                    "Figure 11b: frameworks forwarding @ 1.2 GHz (Gbps)");
     std::vector<std::string> header = {"Size(B)"};
     for (const auto &f : fws)
         header.push_back(f.name);
-    t.header(header);
+    rep.header(header);
 
     for (auto size : sizes) {
         const Trace trace = make_fixed_size_trace(size, 2048, 512);
@@ -50,11 +51,11 @@ main()
             RunResult r = measure(spec, trace);
             row.push_back(strprintf("%.1f", r.throughput_gbps));
         }
-        t.row(row);
+        rep.row(row);
     }
-    t.print("Figure 11b: frameworks forwarding @ 1.2 GHz (Gbps)");
-    std::printf("\nPaper reference: PacketMill best overall; VPP and "
-                "FastClick (both copy-based) similar; FastClick-Light "
-                "approaches BESS once Overlaying is enabled.\n");
+    rep.note("Paper reference: PacketMill best overall; VPP and "
+             "FastClick (both copy-based) similar; FastClick-Light "
+             "approaches BESS once Overlaying is enabled.");
+    rep.emit();
     return 0;
 }

@@ -8,9 +8,9 @@
 
 #include <cstdio>
 
-#include "src/common/table_printer.hh"
 #include "src/mill/packet_mill.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -20,7 +20,7 @@ main()
     const Trace trace = default_campus_trace();
     const std::string config = router_config();
 
-    auto run = [&](const char *name, PipelineOpts o, TablePrinter &t,
+    auto run = [&](const char *name, PipelineOpts o, BenchReport &rep,
                    double base) {
         ExperimentSpec spec;
         spec.config = config;
@@ -29,37 +29,39 @@ main()
         RunResult r = measure(spec, trace);
         const double gain =
             base > 0 ? (r.throughput_gbps / base - 1.0) * 100.0 : 0.0;
-        t.row({name, strprintf("%.2f", r.throughput_gbps),
-               strprintf("%.1f", r.median_latency_us),
-               base > 0 ? strprintf("%+.1f%%", gain) : std::string("-")});
+        rep.row({name, strprintf("%.2f", r.throughput_gbps),
+                 strprintf("%.1f", r.median_latency_us),
+                 base > 0 ? strprintf("%+.1f%%", gain) : std::string("-")});
         return r.throughput_gbps;
     };
 
-    TablePrinter t;
-    t.header({"Configuration", "Throughput(Gbps)", "Median lat(us)",
-              "vs baseline"});
+    BenchReport rep(
+        "reorder_lto",
+        "Sec. 4.1: LTO and Packet-class reordering, router @ 3 GHz");
+    rep.header({"Configuration", "Throughput(Gbps)", "Median lat(us)",
+                "vs baseline"});
 
     PipelineOpts baseline = opts_vanilla();
     PipelineOpts lto_only = baseline;
     lto_only.lto = true;
     PipelineOpts lto_reorder = opts_lto_reorder();
 
-    const double base = run("Baseline (no LTO)", baseline, t, 0);
-    run("LTO", lto_only, t, base);
-    run("LTO + reordered Packet", lto_reorder, t, base);
+    const double base = run("Baseline (no LTO)", baseline, rep, 0);
+    run("LTO", lto_only, rep, base);
+    run("LTO + reordered Packet", lto_reorder, rep, base);
 
-    t.print("Sec. 4.1: LTO and Packet-class reordering, router @ 3 GHz");
+    rep.note("Paper reference: LTO + reordering adds up to 5.4 Gbps "
+             "(6.8%) and cuts ~13 us median latency; reordering is "
+             "about one third of the gain.");
+    rep.emit();
 
     // Show what the pass actually did.
     SimMemory mem;
     std::string err;
     auto pipe = Pipeline::build(config, mem, lto_reorder, &err);
     if (pipe) {
-        MillReport rep = PacketMill::analyze(*pipe, true);
-        std::printf("\n%s", rep.to_string().c_str());
+        MillReport mill = PacketMill::analyze(*pipe, true);
+        std::printf("\n%s", mill.to_string().c_str());
     }
-    std::printf("\nPaper reference: LTO + reordering adds up to 5.4 Gbps "
-                "(6.8%%) and cuts ~13 us median latency; reordering is "
-                "about one third of the gain.\n");
     return 0;
 }

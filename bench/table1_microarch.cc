@@ -5,11 +5,10 @@
  * kilo-load-misses per 100 ms, modeled IPC, and Mpps.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "src/common/table_printer.hh"
 #include "src/runtime/experiments.hh"
+#include "src/telemetry/bench_report.hh"
 
 using namespace pmill;
 
@@ -31,9 +30,10 @@ main()
         {"All", opts_source_all()},
     };
 
-    TablePrinter t;
-    t.header({"Metric", "Vanilla", "Devirt", "Constant", "StaticGraph",
-              "All"});
+    BenchReport rep("table1_microarch",
+                    "Table 1: router @ 3 GHz, campus trace");
+    rep.header({"Metric", "Vanilla", "Devirt", "Constant", "StaticGraph",
+                "All"});
     std::vector<std::string> loads = {"LLC kilo loads /100ms"};
     std::vector<std::string> misses = {"LLC kilo load-misses /100ms"};
     std::vector<std::string> ipc = {"IPC (modeled)"};
@@ -50,14 +50,14 @@ main()
         ipc.push_back(strprintf("%.2f", r.ipc));
         mpps.push_back(strprintf("%.2f", r.mpps));
     }
-    t.row(loads);
-    t.row(misses);
-    t.row(ipc);
-    t.row(mpps);
-    t.print("Table 1: router @ 3 GHz, campus trace");
-    std::printf("\nPaper reference: LLC loads 1097/1159/1176/24/26 k, "
-                "misses 803/841/845/0.98/2.58 k, IPC 2.24/2.30/2.28/"
-                "2.58/2.59, Mpps 8.66/9.05/9.12/10.16/10.41. The headline "
-                "is the orders-of-magnitude LLC drop for StaticGraph/All.\n");
+    rep.row(loads);
+    rep.row(misses);
+    rep.row(ipc);
+    rep.row(mpps);
+    rep.note("Paper reference: LLC loads 1097/1159/1176/24/26 k, "
+             "misses 803/841/845/0.98/2.58 k, IPC 2.24/2.30/2.28/"
+             "2.58/2.59, Mpps 8.66/9.05/9.12/10.16/10.41. The headline "
+             "is the orders-of-magnitude LLC drop for StaticGraph/All.");
+    rep.emit();
     return 0;
 }

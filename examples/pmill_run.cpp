@@ -21,6 +21,11 @@
  *   --verify            check equivalence against the vanilla build
  *   --report            print the PacketMill optimization report
  *   --json              emit the results as a JSON object
+ *   --stats-json PATH   write the sampled telemetry time-series,
+ *                       per-element cost breakdown, and run summary
+ *                       as JSON Lines
+ *   --stats-csv PATH    write the sampled time-series as CSV
+ *   --sample-interval-us N  telemetry snapshot period (default 100)
  */
 
 #include <cstdio>
@@ -28,6 +33,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/pmill.hh"
 
@@ -42,7 +48,8 @@ usage(const char *argv0)
                  "usage: %s <config.click> [--opt LEVEL] [--model M] "
                  "[--freq GHZ] [--offered GBPS] [--cores N] [--nics N] "
                  "[--size BYTES] [--duration US] [--verify] [--report] "
-                 "[--json]\n",
+                 "[--json] [--stats-json PATH] [--stats-csv PATH] "
+                 "[--sample-interval-us N]\n",
                  argv0);
     std::exit(2);
 }
@@ -94,8 +101,10 @@ main(int argc, char **argv)
     const std::string config_path = argv[1];
     PipelineOpts opts = opts_vanilla();
     double freq = 2.3, offered = 100.0, duration_us = 2500.0;
+    double sample_us = 100.0;
     std::uint32_t cores = 1, nics = 1, fixed_size = 0;
     bool do_verify = false, do_report = false, do_json = false;
+    std::string stats_json_path, stats_csv_path;
 
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
@@ -130,6 +139,12 @@ main(int argc, char **argv)
             do_report = true;
         } else if (a == "--json") {
             do_json = true;
+        } else if (a == "--stats-json") {
+            stats_json_path = next();
+        } else if (a == "--stats-csv") {
+            stats_csv_path = next();
+        } else if (a == "--sample-interval-us") {
+            sample_us = std::atof(next());
         } else {
             usage(argv[0]);
         }
@@ -162,7 +177,69 @@ main(int argc, char **argv)
     rc.offered_gbps = offered;
     rc.warmup_us = 1000;
     rc.duration_us = duration_us;
+    rc.sample_interval_us = sample_us;
     RunResult r = engine.run(rc);
+
+    const std::vector<Element *> elems = engine.pipeline().elements();
+    const std::vector<ElementStats> estats = engine.element_stats();
+
+    if (!stats_json_path.empty()) {
+        std::ofstream out(stats_json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         stats_json_path.c_str());
+            return 1;
+        }
+        out << "{\"type\":\"meta\",\"config\":\""
+            << json_escape(config_path) << "\",\"model\":\""
+            << json_escape(metadata_model_name(opts.model))
+            << "\",\"freq_ghz\":" << json_number(freq)
+            << ",\"cores\":" << cores << ",\"nics\":" << nics
+            << ",\"offered_gbps\":" << json_number(offered)
+            << ",\"sample_interval_us\":" << json_number(sample_us)
+            << "}\n";
+        export_jsonl(engine.timeline(), out);
+        for (std::size_t i = 0; i < elems.size() && i < estats.size();
+             ++i) {
+            const ElementStats &es = estats[i];
+            out << "{\"type\":\"element\",\"name\":\""
+                << json_escape(elems[i]->name()) << "\",\"class\":\""
+                << json_escape(elems[i]->class_name())
+                << "\",\"packets\":" << es.packets
+                << ",\"batches\":" << es.batches
+                << ",\"cycles\":" << json_number(es.cycles)
+                << ",\"mem_ns\":" << json_number(es.mem_ns)
+                << ",\"cycles_per_packet\":"
+                << json_number(es.cycles_per_packet())
+                << ",\"mem_ns_per_packet\":"
+                << json_number(es.mem_ns_per_packet()) << "}\n";
+        }
+        out << "{\"type\":\"summary\",\"throughput_gbps\":"
+            << json_number(r.throughput_gbps)
+            << ",\"goodput_gbps\":" << json_number(r.goodput_gbps)
+            << ",\"mpps\":" << json_number(r.mpps)
+            << ",\"mean_latency_us\":" << json_number(r.mean_latency_us)
+            << ",\"median_latency_us\":"
+            << json_number(r.median_latency_us)
+            << ",\"p99_latency_us\":" << json_number(r.p99_latency_us)
+            << ",\"tx_pkts\":" << r.tx_pkts
+            << ",\"rx_drops\":" << r.rx_drops
+            << ",\"ipc\":" << json_number(r.ipc)
+            << ",\"llc_kloads_per_100ms\":"
+            << json_number(r.llc_kloads_per_100ms)
+            << ",\"llc_kmisses_per_100ms\":"
+            << json_number(r.llc_kmisses_per_100ms) << "}\n";
+    }
+
+    if (!stats_csv_path.empty()) {
+        std::ofstream out(stats_csv_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         stats_csv_path.c_str());
+            return 1;
+        }
+        export_csv(engine.timeline(), out);
+    }
 
     if (do_json) {
         std::printf(
@@ -208,6 +285,30 @@ main(int argc, char **argv)
     std::printf("llc:        %.0f kilo-loads, %.1f kilo-misses per "
                 "100 ms; IPC %.2f\n",
                 r.llc_kloads_per_100ms, r.llc_kmisses_per_100ms, r.ipc);
+
+    if (!estats.empty()) {
+        TablePrinter t;
+        t.header({"element", "class", "packets", "batches", "cyc/pkt",
+                  "mem-ns/pkt"});
+        char buf[64];
+        for (std::size_t i = 0; i < elems.size() && i < estats.size();
+             ++i) {
+            const ElementStats &es = estats[i];
+            std::vector<std::string> cells;
+            cells.push_back(elems[i]->name());
+            cells.push_back(elems[i]->class_name());
+            cells.push_back(std::to_string(es.packets));
+            cells.push_back(std::to_string(es.batches));
+            std::snprintf(buf, sizeof buf, "%.1f",
+                          es.cycles_per_packet());
+            cells.push_back(buf);
+            std::snprintf(buf, sizeof buf, "%.1f",
+                          es.mem_ns_per_packet());
+            cells.push_back(buf);
+            t.row(std::move(cells));
+        }
+        t.print("per-element cost (measured window)");
+    }
 
     if (do_verify) {
         std::printf("\nverifying against the vanilla build...\n");

@@ -1,6 +1,7 @@
 #include "src/driver/mempool.hh"
 
 #include "src/common/log.hh"
+#include "src/telemetry/metrics.hh"
 
 namespace pmill {
 
@@ -70,6 +71,19 @@ Mempool::free(const MbufRef &ref, AccessSink *sink)
     PMILL_ASSERT(free_stack_.size() < num_elements_,
                  "double free: pool overflow");
     free_stack_.push_back(idx);
+}
+
+void
+Mempool::register_metrics(MetricsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.add_gauge(prefix + "mempool_occupancy", [this] {
+        return 1.0 - static_cast<double>(free_stack_.size()) /
+                         static_cast<double>(num_elements_);
+    });
+    reg.add_gauge(prefix + "mempool_free", [this] {
+        return static_cast<double>(free_stack_.size());
+    });
 }
 
 } // namespace pmill

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include <string>
 #include <vector>
 
 #include "src/driver/mbuf.hh"
@@ -24,6 +25,8 @@
 #include "src/mem/sim_memory.hh"
 
 namespace pmill {
+
+class MetricsRegistry;
 
 /** Pool of kMbufElementBytes elements in simulated memory. */
 class Mempool {
@@ -77,6 +80,13 @@ class Mempool {
      * with a shifted data offset) back to its owning mbuf.
      */
     MbufRef owner_of(Addr a) const;
+
+    /**
+     * Register this pool's occupancy gauges under @p prefix
+     * (`<prefix>mempool_occupancy` in [0,1], `<prefix>mempool_free`).
+     */
+    void register_metrics(MetricsRegistry &reg,
+                          const std::string &prefix) const;
 
   private:
     MemHandle storage_;

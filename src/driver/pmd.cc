@@ -2,6 +2,22 @@
 
 #include "src/common/log.hh"
 #include "src/runtime/cost_model.hh"
+#include "src/telemetry/metrics.hh"
+
+namespace {
+
+/** Shared queue-level ring gauge used by both PMD flavours. */
+void
+register_ring_gauge(pmill::MetricsRegistry &reg, const std::string &prefix,
+                    const pmill::NicDevice &nic, std::uint32_t queue)
+{
+    reg.add_gauge(prefix + "rx_ring_occupancy", [&nic, queue] {
+        return 1.0 - static_cast<double>(nic.rx_free_descs(queue)) /
+                         static_cast<double>(nic.config().rx_ring_size);
+    });
+}
+
+} // namespace
 
 namespace pmill {
 
@@ -145,6 +161,14 @@ PmdStandard::on_tx_complete(const TxCompletion &c)
     to_free_.push_back(pool_.owner_of(c.buf_addr));
 }
 
+void
+PmdStandard::register_metrics(MetricsRegistry &reg,
+                              const std::string &prefix) const
+{
+    register_ring_gauge(reg, prefix, nic_, queue_);
+    pool_.register_metrics(reg, prefix);
+}
+
 PmdXchg::PmdXchg(NicDevice &nic, XchgAdapter &adapter, std::uint32_t queue)
     : nic_(nic), adapter_(adapter), queue_(queue)
 {
@@ -260,6 +284,13 @@ void
 PmdXchg::on_tx_complete(const TxCompletion &c)
 {
     to_recycle_.push_back(c);
+}
+
+void
+PmdXchg::register_metrics(MetricsRegistry &reg,
+                          const std::string &prefix) const
+{
+    register_ring_gauge(reg, prefix, nic_, queue_);
 }
 
 } // namespace pmill

@@ -17,6 +17,7 @@
 #define PMILL_DRIVER_PMD_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/driver/mbuf.hh"
@@ -26,6 +27,8 @@
 #include "src/nic/nic_device.hh"
 
 namespace pmill {
+
+class MetricsRegistry;
 
 /** Stock DPDK-style PMD over generic mbufs. */
 class PmdStandard {
@@ -59,6 +62,13 @@ class PmdStandard {
 
     /** Engine callback: buffer finished serializing on the wire. */
     void on_tx_complete(const TxCompletion &c);
+
+    /**
+     * Register this queue's ring gauge and the backing pool's gauges
+     * under @p prefix.
+     */
+    void register_metrics(MetricsRegistry &reg,
+                          const std::string &prefix) const;
 
     Mempool &pool() { return pool_; }
 
@@ -100,6 +110,10 @@ class PmdXchg {
 
     /** Engine callback: buffer finished serializing on the wire. */
     void on_tx_complete(const TxCompletion &c);
+
+    /** Register this queue's RX-ring occupancy gauge under @p prefix. */
+    void register_metrics(MetricsRegistry &reg,
+                          const std::string &prefix) const;
 
   private:
     NicDevice &nic_;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/common/log.hh"
+#include "src/telemetry/metrics.hh"
 
 namespace pmill {
 
@@ -142,6 +143,24 @@ class CopyingDatapath : public Datapath {
     const MetadataLayout &layout() const override { return layout_; }
     MetadataModel model() const override { return MetadataModel::kCopying; }
 
+    void
+    register_metrics(MetricsRegistry &reg,
+                     const std::string &prefix) override
+    {
+        pmd_.register_metrics(reg, prefix);
+        reg.add_gauge(prefix + "app_pool_occupancy", [this] {
+            return 1.0 - static_cast<double>(app_stack_.size()) /
+                             static_cast<double>(cfg_.app_pool_size);
+        });
+    }
+
+    double
+    pool_occupancy() const override
+    {
+        return 1.0 - static_cast<double>(pool_.free_count()) /
+                         static_cast<double>(pool_.capacity());
+    }
+
   private:
     Addr
     mbuf_addr_of(RteMbuf *m) const
@@ -277,6 +296,20 @@ class OverlayDatapath : public Datapath {
         return MetadataModel::kOverlaying;
     }
 
+    void
+    register_metrics(MetricsRegistry &reg,
+                     const std::string &prefix) override
+    {
+        pmd_.register_metrics(reg, prefix);
+    }
+
+    double
+    pool_occupancy() const override
+    {
+        return 1.0 - static_cast<double>(pool_.free_count()) /
+                         static_cast<double>(pool_.capacity());
+    }
+
   private:
     const MetadataLayout &layout_;
     Mempool pool_;
@@ -408,6 +441,24 @@ class XchgDatapath : public Datapath, public XchgAdapter {
 
     const MetadataLayout &layout() const override { return layout_; }
     MetadataModel model() const override { return MetadataModel::kXchange; }
+
+    void
+    register_metrics(MetricsRegistry &reg,
+                     const std::string &prefix) override
+    {
+        pmd_.register_metrics(reg, prefix);
+        // The X-Change path has no mempool; the spare-buffer set is
+        // the application-side equivalent.
+        reg.add_gauge(prefix + "mempool_occupancy",
+                      [this] { return pool_occupancy(); });
+    }
+
+    double
+    pool_occupancy() const override
+    {
+        return 1.0 - static_cast<double>(spares_.size()) /
+                         static_cast<double>(spares_.capacity());
+    }
 
     // ----- XchgAdapter (the application's conversion functions) -----
 

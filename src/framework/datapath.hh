@@ -61,6 +61,21 @@ class Datapath {
     virtual const MetadataLayout &layout() const = 0;
 
     virtual MetadataModel model() const = 0;
+
+    /**
+     * Register this queue's ring/pool gauges (via the owned PMD and
+     * pools) under @p prefix. Default: nothing.
+     */
+    virtual void
+    register_metrics(MetricsRegistry &, const std::string &)
+    {}
+
+    /**
+     * Occupancy in [0,1] of the buffer pool backing this datapath
+     * (mempool for Copying/Overlaying, the application's exchanged
+     * buffer set for X-Change).
+     */
+    virtual double pool_occupancy() const { return 0.0; }
 };
 
 /** Sizing knobs shared by the datapath factories. */

@@ -101,7 +101,14 @@ Pipeline::build(const std::string &config_text, SimMemory &mem,
 
     if (!opts.static_graph)
         p->frag_ = mem.alloc(kFragRegionBytes, kPageBytes, Region::kHeap);
+    p->elem_stats_.resize(p->instances_.size());
     return p;
+}
+
+void
+Pipeline::reset_element_stats()
+{
+    elem_stats_.assign(instances_.size(), ElementStats{});
 }
 
 Element *
@@ -194,11 +201,22 @@ Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
     Element *e = instances_[static_cast<std::size_t>(idx)].get();
 
     // Element boundary: dispatch cost + the element's state line.
+    // The ExecContext counter deltas around the invocation charge the
+    // boundary and the element's own work to its ElementStats entry.
+    const ExecCounters c0 = ctx.counters();
     ctx.dispatch(batch.count);
     ctx.load(e->state().addr, 16);
 
     const std::uint32_t before = batch.count;
     e->process(batch, ctx);
+
+    const ExecCounters &c1 = ctx.counters();
+    ElementStats &es = elem_stats_[static_cast<std::size_t>(idx)];
+    es.packets += before;
+    es.batches += 1;
+    es.cycles += (c1.compute_cycles + c1.access_cycles) -
+                 (c0.compute_cycles + c0.access_cycles);
+    es.mem_ns += c1.wall_ns - c0.wall_ns;
 
     // Terminal: ToDPDKDevice stamps the egress port and collects.
     if (dynamic_cast<ToDPDKDevice *>(e) != nullptr) {
@@ -214,7 +232,6 @@ Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
         return;
     }
 
-    (void)before;
     const std::uint32_t before_compact = batch.count;
     batch.compact();
     dropped_ += before_compact - batch.count;

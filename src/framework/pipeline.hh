@@ -29,6 +29,7 @@
 #include "src/framework/metadata.hh"
 #include "src/framework/packet.hh"
 #include "src/mem/sim_memory.hh"
+#include "src/telemetry/metrics.hh"
 
 namespace pmill {
 
@@ -83,6 +84,20 @@ class Pipeline {
     /** Packets dropped inside the graph. */
     std::uint64_t dropped() const { return dropped_; }
 
+    /**
+     * Per-element execution counters, indexed like elements(). The
+     * executor accounts every element invocation's packets, batches,
+     * core cycles, and memory-stall time from the ExecContext deltas
+     * around process().
+     */
+    const std::vector<ElementStats> &element_stats() const
+    {
+        return elem_stats_;
+    }
+
+    /** Zero the per-element counters (measurement-window alignment). */
+    void reset_element_stats();
+
   private:
     Pipeline() = default;
 
@@ -103,6 +118,7 @@ class Pipeline {
 
     std::uint64_t forwarded_ = 0;
     std::uint64_t dropped_ = 0;
+    std::vector<ElementStats> elem_stats_;
 };
 
 } // namespace pmill

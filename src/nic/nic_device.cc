@@ -6,6 +6,7 @@
 
 #include "src/common/log.hh"
 #include "src/net/packet_builder.hh"
+#include "src/telemetry/metrics.hh"
 
 namespace pmill {
 
@@ -136,6 +137,34 @@ std::size_t
 NicDevice::rx_free_descs(std::uint32_t queue) const
 {
     return queues_[queue].rx_free.size();
+}
+
+double
+NicDevice::rx_ring_occupancy() const
+{
+    double sum = 0;
+    for (const Queue &q : queues_)
+        sum += 1.0 - static_cast<double>(q.rx_free.size()) /
+                         static_cast<double>(cfg_.rx_ring_size);
+    return queues_.empty() ? 0.0 : sum / static_cast<double>(queues_.size());
+}
+
+void
+NicDevice::register_metrics(MetricsRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.add_probe_counter(prefix + "rx_frames", [this] {
+        return static_cast<double>(stats_.rx_frames);
+    });
+    reg.add_probe_counter(prefix + "tx_frames", [this] {
+        return static_cast<double>(stats_.tx_frames);
+    });
+    reg.add_probe_counter(prefix + "rx_drops", [this] {
+        return static_cast<double>(stats_.rx_drops_no_desc +
+                                   stats_.rx_drops_pcie);
+    });
+    reg.add_gauge(prefix + "rx_ring_occupancy",
+                  [this] { return rx_ring_occupancy(); });
 }
 
 bool

@@ -20,6 +20,7 @@
 #define PMILL_NIC_NIC_DEVICE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/common/ring.hh"
@@ -29,6 +30,8 @@
 #include "src/net/flow.hh"
 
 namespace pmill {
+
+class MetricsRegistry;
 
 /** Wire-level framing overhead: preamble(8) + IFG(12) + FCS(4). */
 inline constexpr std::uint32_t kWireOverheadBytes = 24;
@@ -120,6 +123,18 @@ class NicDevice {
     const NicConfig &config() const { return cfg_; }
     const NicStats &stats() const { return stats_; }
     void stats_reset() { stats_ = NicStats{}; }
+
+    /**
+     * Register this device's telemetry under @p prefix: frame/drop
+     * counters probed from NicStats plus an RX-ring occupancy gauge
+     * (fraction of descriptors not sitting free, averaged over
+     * queues).
+     */
+    void register_metrics(MetricsRegistry &reg,
+                          const std::string &prefix) const;
+
+    /** RX-ring occupancy in [0,1], averaged over all queues. */
+    double rx_ring_occupancy() const;
 
     /** Wire time (ns) to serialize a frame of @p len bytes. */
     double

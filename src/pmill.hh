@@ -41,6 +41,10 @@
 #include "src/runtime/experiments.hh"
 #include "src/table/cuckoo_hash.hh"
 #include "src/table/lpm.hh"
+#include "src/telemetry/bench_report.hh"
+#include "src/telemetry/export.hh"
+#include "src/telemetry/metrics.hh"
+#include "src/telemetry/sampler.hh"
 #include "src/trace/trace.hh"
 
 #endif // PMILL_PMILL_HH

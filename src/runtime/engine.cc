@@ -132,6 +132,90 @@ Engine::Engine(const MachineConfig &machine, const std::string &config_text,
             e->warm_caches(*core->caches);
 
     gens_.resize(machine.num_nics);
+
+    register_telemetry();
+}
+
+void
+Engine::register_telemetry()
+{
+    // Aggregate microarchitectural counters (perf-style, summed over
+    // cores); the sampler turns them into per-interval series.
+    metrics_.add_probe_counter("llc_loads", [this] {
+        double v = 0;
+        for (const auto &core : cores_)
+            v += static_cast<double>(core->caches->stats().llc_loads());
+        return v;
+    });
+    metrics_.add_probe_counter("llc_misses", [this] {
+        double v = 0;
+        for (const auto &core : cores_)
+            v += static_cast<double>(core->caches->stats().llc_load_misses);
+        return v;
+    });
+    metrics_.add_probe_counter("instructions", [this] {
+        double v = 0;
+        for (const auto &core : cores_)
+            v += core->ctx->counters().instructions;
+        return v;
+    });
+    metrics_.add_probe_counter("cycles", [this] {
+        double v = 0;
+        for (const auto &core : cores_)
+            v += core->ctx->counters().total_cycles(machine_.freq_ghz);
+        return v;
+    });
+    metrics_.add_ratio("ipc", "instructions", "cycles");
+
+    // Traffic counters: slot-backed (one add per completion in the
+    // engine's TX-drain hot path) plus derived rates.
+    m_tx_pkts_ = metrics_.add_counter("tx_pkts");
+    m_tx_wire_bits_ = metrics_.add_counter("tx_wire_bits");
+    metrics_.add_rate("throughput_gbps", "tx_wire_bits", 1e-9);
+    metrics_.add_rate("mpps", "tx_pkts", 1e-6);
+
+    metrics_.add_probe_counter("rx_drops", [this] {
+        double v = 0;
+        for (const auto &nic : nics_)
+            v += static_cast<double>(nic->stats().rx_drops_no_desc +
+                                     nic->stats().rx_drops_pcie);
+        return v;
+    });
+    metrics_.add_probe_counter("pipeline_drops", [this] {
+        double v = 0;
+        for (const auto &core : cores_)
+            v += static_cast<double>(core->pipe->dropped());
+        return v;
+    });
+
+    // Occupancy gauges aggregated across devices/queues.
+    metrics_.add_gauge("ring_occupancy", [this] {
+        double v = 0;
+        for (const auto &nic : nics_)
+            v += nic->rx_ring_occupancy();
+        return v / static_cast<double>(nics_.size());
+    });
+    metrics_.add_gauge("mempool_occupancy", [this] {
+        double v = 0;
+        std::size_t n = 0;
+        for (const auto &core : cores_)
+            for (const auto &bq : core->dps) {
+                v += bq.dp->pool_occupancy();
+                ++n;
+            }
+        return n ? v / static_cast<double>(n) : 0.0;
+    });
+
+    // Per-interval latency distribution (p50_/p99_latency_us columns).
+    lat_interval_ = metrics_.add_histogram("latency_us", 4000.0, 16384);
+
+    // Per-device and per-queue breakdowns.
+    for (std::uint32_t n = 0; n < nics_.size(); ++n)
+        nics_[n]->register_metrics(metrics_, strprintf("nic%u_", n));
+    for (const auto &core : cores_)
+        for (const auto &bq : core->dps)
+            bq.dp->register_metrics(
+                metrics_, strprintf("nic%u_q%u_", bq.nic, bq.queue));
 }
 
 Engine::~Engine() = default;
@@ -208,6 +292,9 @@ Engine::drain_all_tx(TimeNs now)
         nics_[n]->drain_tx(now, tx_scratch_);
         for (const TxCompletion &c : tx_scratch_) {
             queue_dp_[n][c.queue]->on_tx_complete(c);
+            m_tx_pkts_.inc();
+            m_tx_wire_bits_.add((c.len + kWireOverheadBytes) * 8ull);
+            lat_interval_->record((c.departure_ns - c.arrival_ns) / 1000.0);
             if (measuring_) {
                 ++tx_pkts_;
                 tx_wire_bits_ += (c.len + kWireOverheadBytes) * 8ull;
@@ -235,6 +322,11 @@ Engine::run(const RunConfig &rc)
     tx_pkts_ = 0;
     tx_wire_bits_ = tx_frame_bits_ = 0;
 
+    sampler_ = rc.sample_interval_us > 0
+                   ? std::make_unique<Sampler>(metrics_,
+                                               rc.sample_interval_us)
+                   : nullptr;
+
     std::vector<ExecCounters> exec_base(cores_.size());
     std::vector<MemStats> mem_base(cores_.size());
     std::uint64_t drops_base = 0;
@@ -254,6 +346,13 @@ Engine::run(const RunConfig &rc)
         latency_->clear();
         tx_pkts_ = 0;
         tx_wire_bits_ = tx_frame_bits_ = 0;
+        // Align telemetry with the measured window: element counters
+        // restart and the sampler baselines every counter at the
+        // nominal window start (sample boundaries at warm_end + k*T).
+        for (auto &core : cores_)
+            core->pipe->reset_element_stats();
+        if (sampler_)
+            sampler_->start(warm_end);
     };
 
     const TimeNs gen_stop = rc.generator_stop_us > 0
@@ -290,8 +389,12 @@ Engine::run(const RunConfig &rc)
             step_core(*cores_[core_idx]);
 
         drain_all_tx(t);
+        if (sampler_ && measuring_)
+            sampler_->advance(t);
     }
     drain_all_tx(end);
+    if (sampler_ && measuring_)
+        sampler_->advance(end);
 
     RunResult r;
     r.duration_ns = end - warm_end;
@@ -325,6 +428,31 @@ Engine::run(const RunConfig &rc)
     r.llc_kmisses_per_100ms =
         static_cast<double>(r.mem.llc_load_misses) / windows_100ms / 1000.0;
     return r;
+}
+
+const Timeline &
+Engine::timeline() const
+{
+    static const Timeline kEmpty;
+    return sampler_ ? sampler_->timeline() : kEmpty;
+}
+
+std::vector<ElementStats>
+Engine::element_stats() const
+{
+    std::vector<ElementStats> sum;
+    for (const auto &core : cores_) {
+        const auto &es = core->pipe->element_stats();
+        if (sum.size() < es.size())
+            sum.resize(es.size());
+        for (std::size_t i = 0; i < es.size(); ++i) {
+            sum[i].packets += es[i].packets;
+            sum[i].batches += es[i].batches;
+            sum[i].cycles += es[i].cycles;
+            sum[i].mem_ns += es[i].mem_ns;
+        }
+    }
+    return sum;
 }
 
 RunResult

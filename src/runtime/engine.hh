@@ -26,6 +26,8 @@
 #include "src/mem/sim_memory.hh"
 #include "src/nic/nic_device.hh"
 #include "src/runtime/cost_model.hh"
+#include "src/telemetry/metrics.hh"
+#include "src/telemetry/sampler.hh"
 #include "src/trace/trace.hh"
 
 namespace pmill {
@@ -50,6 +52,10 @@ struct RunConfig {
     /// (0 = never): lets the DUT drain completely so runs over the
     /// same trace emit exactly the same frames (verification mode).
     double generator_stop_us = 0.0;
+    /// Telemetry snapshot period within the measured window (the
+    /// scaling stand-in for the paper's 100-ms perf windows); 0
+    /// disables in-run sampling.
+    double sample_interval_us = 100.0;
 };
 
 /** Results of one run (the quantities the paper's figures report). */
@@ -123,6 +129,21 @@ class Engine {
 
     NicDevice &nic(std::uint32_t i = 0) { return *nics_[i]; }
 
+    /** The telemetry registry (aggregate + per-queue metrics). */
+    MetricsRegistry &metrics() { return metrics_; }
+
+    /**
+     * Sampled time-series of the most recent run (empty before the
+     * first run or when RunConfig::sample_interval_us is 0).
+     */
+    const Timeline &timeline() const;
+
+    /**
+     * Per-element execution counters of the most recent run's
+     * measured window, summed over cores (config order).
+     */
+    std::vector<ElementStats> element_stats() const;
+
   private:
     struct BoundQueue {
         std::uint32_t nic = 0;
@@ -149,6 +170,9 @@ class Engine {
     /** Advance @p core by one poll iteration; returns its new clock. */
     void step_core(Core &core);
 
+    /** Register the engine-level aggregate metrics (ctor helper). */
+    void register_telemetry();
+
     /** Deliver the next frame of @p gen into @p nic_idx. */
     void deliver_next(std::uint32_t nic_idx);
 
@@ -173,6 +197,15 @@ class Engine {
     std::uint64_t tx_wire_bits_ = 0;
     std::uint64_t tx_frame_bits_ = 0;
     std::vector<TxCompletion> tx_scratch_;
+
+    /// @name Telemetry.
+    /// @{
+    MetricsRegistry metrics_;
+    std::unique_ptr<Sampler> sampler_;  ///< lives across run() calls
+    CounterHandle m_tx_pkts_;  ///< hot-path slot counters
+    CounterHandle m_tx_wire_bits_;
+    Histogram *lat_interval_ = nullptr;  ///< per-interval latency
+    /// @}
 };
 
 /**

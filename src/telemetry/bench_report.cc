@@ -1,0 +1,84 @@
+#include "src/telemetry/bench_report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/common/log.hh"
+#include "src/common/table_printer.hh"
+#include "src/telemetry/export.hh"
+
+namespace pmill {
+
+BenchReport::BenchReport(std::string name, std::string title)
+    : name_(std::move(name)), title_(std::move(title))
+{}
+
+void
+BenchReport::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+BenchReport::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+BenchReport::note(std::string text)
+{
+    note_ = std::move(text);
+}
+
+void
+BenchReport::emit() const
+{
+    TablePrinter t;
+    t.header(header_);
+    for (const auto &r : rows_)
+        t.row(r);
+    t.print(title_);
+    if (!note_.empty())
+        std::printf("\n%s\n", note_.c_str());
+    write_artifacts();
+}
+
+void
+BenchReport::write_artifacts() const
+{
+    const char *dir = std::getenv("PMILL_BENCH_DIR");
+    std::string base = dir ? dir : ".";
+    if (base == "none")
+        return;
+    base += "/" + name_;
+
+    std::ofstream json(base + ".json");
+    std::ofstream csv(base + ".csv");
+    if (!json || !csv) {
+        warn("bench artifacts: cannot write %s.{json,csv}", base.c_str());
+        return;
+    }
+
+    json << "{\"type\":\"meta\",\"bench\":\"" << json_escape(name_)
+         << "\",\"title\":\"" << json_escape(title_) << "\",\"columns\":[";
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        json << (i ? "," : "") << '"' << json_escape(header_[i]) << '"';
+    json << "]}\n";
+    for (const auto &r : rows_) {
+        json << "{\"type\":\"row\"";
+        for (std::size_t i = 0; i < r.size() && i < header_.size(); ++i)
+            json << ",\"" << json_escape(header_[i]) << "\":\""
+                 << json_escape(r[i]) << '"';
+        json << "}\n";
+    }
+
+    write_csv_record(csv, header_);
+    for (const auto &r : rows_)
+        write_csv_record(csv, r);
+
+    std::printf("artifacts:  %s.json, %s.csv\n", base.c_str(), base.c_str());
+}
+
+} // namespace pmill

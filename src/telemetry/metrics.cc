@@ -1,0 +1,124 @@
+#include "src/telemetry/metrics.hh"
+
+#include "src/common/log.hh"
+
+namespace pmill {
+
+MetricId
+MetricsRegistry::add(Metric m)
+{
+    PMILL_ASSERT(find(m.name) < 0, "metric '%s' registered twice",
+                 m.name.c_str());
+    metrics_.push_back(std::move(m));
+    return static_cast<MetricId>(metrics_.size() - 1);
+}
+
+CounterHandle
+MetricsRegistry::add_counter(const std::string &name)
+{
+    slots_.push_back(0);
+    Metric m;
+    m.name = name;
+    m.kind = MetricKind::kCounter;
+    m.slot = &slots_.back();
+    add(std::move(m));
+    return CounterHandle{&slots_.back()};
+}
+
+MetricId
+MetricsRegistry::add_probe_counter(const std::string &name, Probe probe)
+{
+    Metric m;
+    m.name = name;
+    m.kind = MetricKind::kCounter;
+    m.probe = std::move(probe);
+    return add(std::move(m));
+}
+
+MetricId
+MetricsRegistry::add_gauge(const std::string &name, Probe probe)
+{
+    Metric m;
+    m.name = name;
+    m.kind = MetricKind::kGauge;
+    m.probe = std::move(probe);
+    return add(std::move(m));
+}
+
+MetricId
+MetricsRegistry::add_rate(const std::string &name,
+                          const std::string &counter_name, double scale)
+{
+    const int src = find(counter_name);
+    PMILL_ASSERT(src >= 0, "rate '%s': unknown counter '%s'", name.c_str(),
+                 counter_name.c_str());
+    PMILL_ASSERT(metrics_[src].kind == MetricKind::kCounter,
+                 "rate '%s': source '%s' is not a counter", name.c_str(),
+                 counter_name.c_str());
+    Metric m;
+    m.name = name;
+    m.kind = MetricKind::kRate;
+    m.src = static_cast<MetricId>(src);
+    m.scale = scale;
+    return add(std::move(m));
+}
+
+MetricId
+MetricsRegistry::add_ratio(const std::string &name,
+                           const std::string &numerator,
+                           const std::string &denominator)
+{
+    const int num = find(numerator);
+    const int den = find(denominator);
+    PMILL_ASSERT(num >= 0 && den >= 0,
+                 "ratio '%s': unknown operand ('%s' / '%s')", name.c_str(),
+                 numerator.c_str(), denominator.c_str());
+    PMILL_ASSERT(metrics_[num].kind == MetricKind::kCounter &&
+                     metrics_[den].kind == MetricKind::kCounter,
+                 "ratio '%s': both operands must be counters", name.c_str());
+    Metric m;
+    m.name = name;
+    m.kind = MetricKind::kRatio;
+    m.src = static_cast<MetricId>(num);
+    m.den = static_cast<MetricId>(den);
+    return add(std::move(m));
+}
+
+Histogram *
+MetricsRegistry::add_histogram(const std::string &name, double max_value,
+                               std::size_t num_bins)
+{
+    for (const auto &h : hists_)
+        PMILL_ASSERT(h.name != name, "histogram '%s' registered twice",
+                     name.c_str());
+    hists_.push_back(
+        HistEntry{name, std::make_unique<Histogram>(max_value, num_bins)});
+    return hists_.back().hist.get();
+}
+
+int
+MetricsRegistry::find(const std::string &name) const
+{
+    for (std::size_t i = 0; i < metrics_.size(); ++i)
+        if (metrics_[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+double
+MetricsRegistry::read(MetricId id) const
+{
+    const Metric &m = metrics_[id];
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        return m.slot ? static_cast<double>(*m.slot) : m.probe();
+      case MetricKind::kGauge:
+        return m.probe();
+      case MetricKind::kRate:
+      case MetricKind::kRatio:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+} // namespace pmill

@@ -1,0 +1,123 @@
+#include "src/telemetry/sampler.hh"
+
+#include "src/common/log.hh"
+
+namespace pmill {
+
+int
+Timeline::column(const std::string &name) const
+{
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        if (columns[i] == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+double
+Timeline::value(std::size_t row, const std::string &name) const
+{
+    const int c = column(name);
+    if (c < 0 || row >= rows.size())
+        return 0.0;
+    return rows[row].values[static_cast<std::size_t>(c)];
+}
+
+Sampler::Sampler(MetricsRegistry &reg, double interval_us)
+    : reg_(reg), interval_ns_(interval_us * 1000.0)
+{
+    PMILL_ASSERT(interval_us > 0, "sample interval must be positive");
+
+    // Column schema is fixed at construction: one column per metric,
+    // two (p50/p99) per histogram.
+    for (MetricId id = 0; id < reg_.size(); ++id)
+        tl_.columns.push_back(reg_.name(id));
+    for (const auto &h : reg_.histograms()) {
+        tl_.columns.push_back("p50_" + h.name);
+        tl_.columns.push_back("p99_" + h.name);
+    }
+}
+
+void
+Sampler::start(TimeNs t0)
+{
+    t0_ = prev_ = t0;
+    next_ = t0 + interval_ns_;
+    started_ = true;
+
+    last_.assign(reg_.size(), 0.0);
+    for (MetricId id = 0; id < reg_.size(); ++id)
+        if (reg_.kind(id) == MetricKind::kCounter)
+            last_[id] = reg_.read(id);
+    for (const auto &h : reg_.histograms())
+        h.hist->clear();
+}
+
+void
+Sampler::advance(TimeNs now)
+{
+    if (!started_)
+        return;
+    while (next_ <= now)
+        emit(next_);
+}
+
+void
+Sampler::emit(TimeNs boundary)
+{
+    const std::size_t n = reg_.size();
+
+    // Pass 1: cumulative counter values and their interval deltas.
+    std::vector<double> cum(n, 0.0), delta(n, 0.0);
+    for (MetricId id = 0; id < n; ++id) {
+        if (reg_.kind(id) != MetricKind::kCounter)
+            continue;
+        cum[id] = reg_.read(id);
+        delta[id] = cum[id] - last_[id];
+        last_[id] = cum[id];
+    }
+
+    TimelineRow row;
+    row.dt_us = (boundary - prev_) / 1000.0;
+    row.t_us = (boundary - t0_) / 1000.0;
+    row.values.reserve(tl_.columns.size());
+    const double dt_sec = (boundary - prev_) * 1e-9;
+
+    // Pass 2: one column per metric.
+    for (MetricId id = 0; id < n; ++id) {
+        switch (reg_.kind(id)) {
+          case MetricKind::kCounter:
+            row.values.push_back(delta[id]);
+            break;
+          case MetricKind::kGauge:
+            row.values.push_back(reg_.read(id));
+            break;
+          case MetricKind::kRate:
+            row.values.push_back(
+                dt_sec > 0
+                    ? delta[reg_.rate_source(id)] / dt_sec *
+                          reg_.rate_scale(id)
+                    : 0.0);
+            break;
+          case MetricKind::kRatio: {
+            const double den = delta[reg_.ratio_den(id)];
+            row.values.push_back(den != 0.0
+                                     ? delta[reg_.ratio_num(id)] / den
+                                     : 0.0);
+            break;
+          }
+        }
+    }
+
+    // Interval histograms: percentiles, then drain for the next one.
+    for (const auto &h : reg_.histograms()) {
+        row.values.push_back(h.hist->percentile(0.5));
+        row.values.push_back(h.hist->percentile(0.99));
+        h.hist->clear();
+    }
+
+    tl_.rows.push_back(std::move(row));
+    prev_ = boundary;
+    next_ = boundary + interval_ns_;
+}
+
+} // namespace pmill

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * In-run time-series sampling.
+ *
+ * The Sampler is hooked into the engine's discrete-event loop: every
+ * `sample_interval_us` of simulated time it snapshots all registered
+ * metrics into one Timeline row — the scaling stand-in for the
+ * paper's per-100-ms `perf stat -I` windows (Table 1 / Fig. 9).
+ * Counters become per-interval deltas, gauges instantaneous values,
+ * rates/ratios derived columns, and histograms per-interval p50/p99
+ * (drained after each snapshot).
+ */
+
+#ifndef PMILL_TELEMETRY_SAMPLER_HH
+#define PMILL_TELEMETRY_SAMPLER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/telemetry/metrics.hh"
+
+namespace pmill {
+
+/** One sampled interval: [t_us - dt_us, t_us] of simulated time. */
+struct TimelineRow {
+    double t_us = 0;   ///< interval end, relative to measurement start
+    double dt_us = 0;  ///< interval length
+    std::vector<double> values;  ///< aligned with Timeline::columns
+};
+
+/** The whole sampled trajectory of one run. */
+struct Timeline {
+    std::vector<std::string> columns;
+    std::vector<TimelineRow> rows;
+
+    /** Column index of @p name, or -1. */
+    int column(const std::string &name) const;
+
+    /** Value of column @p name in @p row (0 when absent). */
+    double value(std::size_t row, const std::string &name) const;
+
+    bool empty() const { return rows.empty(); }
+};
+
+class Sampler {
+  public:
+    /**
+     * @param interval_us Simulated time between snapshots.
+     */
+    Sampler(MetricsRegistry &reg, double interval_us);
+
+    /**
+     * Begin sampling: baseline every counter at @p t0 (measurement
+     * start) and schedule the first boundary at t0 + interval.
+     */
+    void start(TimeNs t0);
+
+    /**
+     * The event loop reached simulated time @p now: emit one row per
+     * interval boundary crossed since the last call.
+     */
+    void advance(TimeNs now);
+
+    const Timeline &timeline() const { return tl_; }
+    double interval_us() const { return interval_ns_ / 1000.0; }
+    bool started() const { return started_; }
+
+  private:
+    void emit(TimeNs boundary);
+
+    MetricsRegistry &reg_;
+    double interval_ns_;
+    TimeNs t0_ = 0;
+    TimeNs next_ = 0;
+    TimeNs prev_ = 0;
+    bool started_ = false;
+    std::vector<double> last_;  ///< previous cumulative, per metric
+    Timeline tl_;
+};
+
+} // namespace pmill
+
+#endif // PMILL_TELEMETRY_SAMPLER_HH

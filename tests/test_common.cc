@@ -87,6 +87,46 @@ TEST(Histogram, ClearResets)
     EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
+TEST(Histogram, SingleSamplePercentiles)
+{
+    Histogram h(100.0, 100);
+    h.record(42.0);
+    // With one sample, every quantile must land in its bin.
+    EXPECT_NEAR(h.percentile(0.5), 42.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.99), 42.0, 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(Histogram, OverflowOnlyPercentiles)
+{
+    Histogram h(10.0, 10);
+    h.record(100.0);
+    h.record(250.0);
+    // All mass in the overflow bucket: report the observed max.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 250.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 250.0);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, QuantileArgumentIsClamped)
+{
+    Histogram h(100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.record(static_cast<double>(i));
+    // Out-of-range quantiles clamp to [0, 1] instead of misbehaving.
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(1.5), h.percentile(1.0));
+    EXPECT_LE(h.percentile(0.0), h.percentile(1.0));
+}
+
+TEST(Histogram, NegativeSamplesClampToZeroBin)
+{
+    Histogram h(10.0, 10);
+    h.record(-5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_NEAR(h.percentile(0.5), 0.0, 1.0);
+}
+
 TEST(Ring, PushPopOrder)
 {
     Ring<int> r(8);
