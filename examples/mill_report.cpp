@@ -77,5 +77,25 @@ main()
         Pipeline::build(config, mem2, opts_source_all(), &err);
     if (optimized)
         std::printf("%s", emit_specialized_source(*optimized).c_str());
+
+    // Close the loop with a short traced run of the milled pipeline:
+    // beyond the mean costs above, where do the *tail* packets spend
+    // their extra time?
+    std::printf("\nTraced sample run (PacketMill build, 80 Gbps "
+                "offered):\n");
+    MachineConfig machine;
+    Engine engine(machine, config, opts_packetmill(),
+                  default_campus_trace());
+    engine.enable_tracing();
+    RunConfig rc;
+    rc.offered_gbps = 80;
+    rc.warmup_us = 300;
+    rc.duration_us = 700;
+    const RunResult r = engine.run(rc);
+    std::printf("  throughput %.2f Gbps, latency median %.2f / p99 %.2f "
+                "us\n\n",
+                r.throughput_gbps, r.median_latency_us, r.p99_latency_us);
+    const TailAttribution tail = engine.tail_attribution();
+    std::printf("%s", tail.to_string().c_str());
     return 0;
 }

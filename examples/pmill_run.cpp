@@ -26,6 +26,16 @@
  *                       as JSON Lines
  *   --stats-csv PATH    write the sampled time-series as CSV
  *   --sample-interval-us N  telemetry snapshot period (default 100)
+ *   --trace-out PATH    write a Chrome/Perfetto trace-event JSON of
+ *                       the measured window (load in ui.perfetto.dev)
+ *   --trace-jsonl PATH  write the raw trace ring + tail attribution
+ *                       as JSON Lines
+ *   --trace-sample-rate R   fraction of packets traced per-packet
+ *                       (default 1.0; batch events are always traced)
+ *
+ * Every option also accepts the `--name=value` form. Enabling any
+ * trace output prints the tail-latency attribution table: where the
+ * packets above the run's p99 spent their extra time.
  */
 
 #include <cstdio>
@@ -49,7 +59,8 @@ usage(const char *argv0)
                  "[--freq GHZ] [--offered GBPS] [--cores N] [--nics N] "
                  "[--size BYTES] [--duration US] [--verify] [--report] "
                  "[--json] [--stats-json PATH] [--stats-csv PATH] "
-                 "[--sample-interval-us N]\n",
+                 "[--sample-interval-us N] [--trace-out PATH] "
+                 "[--trace-jsonl PATH] [--trace-sample-rate R]\n",
                  argv0);
     std::exit(2);
 }
@@ -105,10 +116,25 @@ main(int argc, char **argv)
     std::uint32_t cores = 1, nics = 1, fixed_size = 0;
     bool do_verify = false, do_report = false, do_json = false;
     std::string stats_json_path, stats_csv_path;
+    std::string trace_out_path, trace_jsonl_path;
+    double trace_rate = 1.0;
 
     for (int i = 2; i < argc; ++i) {
-        const std::string a = argv[i];
+        std::string a = argv[i];
+        // Accept both "--name value" and "--name=value".
+        std::string inline_val;
+        bool has_inline = false;
+        if (a.rfind("--", 0) == 0) {
+            const std::size_t eq = a.find('=');
+            if (eq != std::string::npos) {
+                inline_val = a.substr(eq + 1);
+                a.resize(eq);
+                has_inline = true;
+            }
+        }
         auto next = [&]() -> const char * {
+            if (has_inline)
+                return inline_val.c_str();
             if (i + 1 >= argc)
                 usage(argv[0]);
             return argv[++i];
@@ -145,9 +171,18 @@ main(int argc, char **argv)
             stats_csv_path = next();
         } else if (a == "--sample-interval-us") {
             sample_us = std::atof(next());
+        } else if (a == "--trace-out") {
+            trace_out_path = next();
+        } else if (a == "--trace-jsonl") {
+            trace_jsonl_path = next();
+        } else if (a == "--trace-sample-rate") {
+            trace_rate = std::atof(next());
         } else {
             usage(argv[0]);
         }
+        if (has_inline &&
+            (a == "--verify" || a == "--report" || a == "--json"))
+            usage(argv[0]);
     }
 
     std::ifstream in(config_path);
@@ -173,12 +208,44 @@ main(int argc, char **argv)
     if (do_report)
         std::printf("%s\n", mill_report.to_string().c_str());
 
+    const bool tracing =
+        !trace_out_path.empty() || !trace_jsonl_path.empty();
+    if (tracing) {
+        TracerConfig tc;
+        tc.sample_rate = trace_rate;
+        engine.enable_tracing(tc);
+    }
+
     RunConfig rc;
     rc.offered_gbps = offered;
     rc.warmup_us = 1000;
     rc.duration_us = duration_us;
     rc.sample_interval_us = sample_us;
     RunResult r = engine.run(rc);
+
+    TailAttribution tail;
+    if (tracing) {
+        tail = engine.tail_attribution();
+        if (!trace_out_path.empty()) {
+            std::ofstream out(trace_out_path);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             trace_out_path.c_str());
+                return 1;
+            }
+            export_chrome_trace(*engine.tracer(), out);
+        }
+        if (!trace_jsonl_path.empty()) {
+            std::ofstream out(trace_jsonl_path);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             trace_jsonl_path.c_str());
+                return 1;
+            }
+            export_trace_jsonl(*engine.tracer(), out);
+            tail.write_jsonl(out);
+        }
+    }
 
     const std::vector<Element *> elems = engine.pipeline().elements();
     const std::vector<ElementStats> estats = engine.element_stats();
@@ -308,6 +375,13 @@ main(int argc, char **argv)
             t.row(std::move(cells));
         }
         t.print("per-element cost (measured window)");
+    }
+
+    if (tracing && !do_json) {
+        std::printf("\n%s", tail.to_string().c_str());
+        if (!tail.dominant_stage.empty())
+            std::printf("tail latency dominated by: %s\n",
+                        tail.dominant_stage.c_str());
     }
 
     if (do_verify) {

@@ -17,14 +17,14 @@ TablePrinter::row(std::vector<std::string> cells)
     rows_.push_back(std::move(cells));
 }
 
-void
-TablePrinter::print(const std::string &title) const
+std::string
+TablePrinter::to_string(const std::string &title) const
 {
     std::size_t cols = header_.size();
     for (const auto &r : rows_)
         cols = std::max(cols, r.size());
     if (cols == 0)
-        return;
+        return "";
 
     std::vector<std::size_t> width(cols, 0);
     auto widen = [&](const std::vector<std::string> &r) {
@@ -35,16 +35,18 @@ TablePrinter::print(const std::string &title) const
     for (const auto &r : rows_)
         widen(r);
 
+    std::string out;
     if (!title.empty())
-        std::printf("\n== %s ==\n", title.c_str());
+        out += "\n== " + title + " ==\n";
 
     auto emit = [&](const std::vector<std::string> &r) {
         for (std::size_t i = 0; i < cols; ++i) {
             const std::string &cell = i < r.size() ? r[i] : std::string();
-            std::printf("%-*s%s", static_cast<int>(width[i]), cell.c_str(),
-                        i + 1 == cols ? "" : "  ");
+            out += cell;
+            if (i + 1 != cols)
+                out += std::string(width[i] - cell.size() + 2, ' ');
         }
-        std::printf("\n");
+        out += '\n';
     };
 
     if (!header_.empty()) {
@@ -52,11 +54,21 @@ TablePrinter::print(const std::string &title) const
         std::size_t total = 0;
         for (std::size_t i = 0; i < cols; ++i)
             total += width[i] + (i + 1 == cols ? 0 : 2);
-        std::printf("%s\n", std::string(total, '-').c_str());
+        out += std::string(total, '-') + "\n";
     }
     for (const auto &r : rows_)
         emit(r);
-    std::fflush(stdout);
+    return out;
+}
+
+void
+TablePrinter::print(const std::string &title) const
+{
+    const std::string out = to_string(title);
+    if (!out.empty()) {
+        std::fputs(out.c_str(), stdout);
+        std::fflush(stdout);
+    }
 }
 
 } // namespace pmill

@@ -27,6 +27,9 @@ class TablePrinter {
     /** Render the table to stdout, with an optional title line. */
     void print(const std::string &title = "") const;
 
+    /** Render the table into a string (same layout as print()). */
+    std::string to_string(const std::string &title = "") const;
+
     /** Number of data rows added so far. */
     std::size_t num_rows() const { return rows_.size(); }
 

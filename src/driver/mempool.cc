@@ -2,6 +2,7 @@
 
 #include "src/common/log.hh"
 #include "src/telemetry/metrics.hh"
+#include "src/tracing/tracer.hh"
 
 namespace pmill {
 
@@ -48,6 +49,9 @@ Mempool::alloc(AccessSink *sink)
     m->pkt_len = 0;
     m->data_len = 0;
     sink_store(sink, elem_addr(idx), 32);
+    PMILL_TRACE(tracer_, TraceEventKind::kMempoolGet, tracer_->now(), 0, 0,
+                trace_span_,
+                static_cast<std::uint32_t>(free_stack_.size()));
     return ref(idx);
 }
 
@@ -71,6 +75,9 @@ Mempool::free(const MbufRef &ref, AccessSink *sink)
     PMILL_ASSERT(free_stack_.size() < num_elements_,
                  "double free: pool overflow");
     free_stack_.push_back(idx);
+    PMILL_TRACE(tracer_, TraceEventKind::kMempoolPut, tracer_->now(), 0, 0,
+                trace_span_,
+                static_cast<std::uint32_t>(free_stack_.size()));
 }
 
 void

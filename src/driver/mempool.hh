@@ -27,6 +27,7 @@
 namespace pmill {
 
 class MetricsRegistry;
+class Tracer;
 
 /** Pool of kMbufElementBytes elements in simulated memory. */
 class Mempool {
@@ -88,11 +89,24 @@ class Mempool {
     void register_metrics(MetricsRegistry &reg,
                           const std::string &prefix) const;
 
+    /**
+     * Attach @p t (nullptr detaches); get/put events are recorded
+     * under span @p span at the tracer's current burst time.
+     */
+    void
+    set_tracer(Tracer *t, std::uint16_t span)
+    {
+        tracer_ = t;
+        trace_span_ = span;
+    }
+
   private:
     MemHandle storage_;
     MemHandle cache_mem_;  ///< hot per-lcore cache head line
     std::vector<std::uint32_t> free_stack_;
     std::uint32_t num_elements_;
+    Tracer *tracer_ = nullptr;
+    std::uint16_t trace_span_ = 0;
 };
 
 } // namespace pmill

@@ -3,6 +3,7 @@
 #include "src/common/log.hh"
 #include "src/runtime/cost_model.hh"
 #include "src/telemetry/metrics.hh"
+#include "src/tracing/tracer.hh"
 
 namespace {
 
@@ -70,6 +71,12 @@ PmdStandard::rx_burst(TimeNs now, MbufRef *out, std::uint32_t max,
     const std::uint32_t n = nic_.rx_poll(queue_, now, cqes, max);
     if (sink && n)
         sink->on_compute(sink_driver_cycles(n), 20.0 * n);
+    if (PMILL_TRACE_ON(tracer_)) {
+        tracer_->set_now(now);
+        if (n)
+            tracer_->record(TraceEventKind::kRxBurst, now, 0, 0,
+                            trace_span_, n);
+    }
 
     // rte_prefetch the CQEs and the first frame line of the burst —
     // mlx5 does exactly this, hiding the DDIO-resident lines.
@@ -123,6 +130,8 @@ std::uint32_t
 PmdStandard::tx_burst(MbufRef *pkts, std::uint32_t n, TimeNs now,
                       AccessSink *sink)
 {
+    if (PMILL_TRACE_ON(tracer_))
+        tracer_->set_now(now);
     // Free-threshold behaviour: return completed mbufs to the pool.
     for (const MbufRef &m : to_free_)
         pool_.free(m, sink);
@@ -203,6 +212,12 @@ PmdXchg::rx_burst(TimeNs now, void **out, std::uint32_t max,
     const std::uint32_t n = nic_.rx_poll(queue_, now, cqes, max);
     if (sink && n)
         sink->on_compute(sink_driver_cycles(n), 20.0 * n);
+    if (PMILL_TRACE_ON(tracer_)) {
+        tracer_->set_now(now);
+        if (n)
+            tracer_->record(TraceEventKind::kRxBurst, now, 0, 0,
+                            trace_span_, n);
+    }
 
     if (sink) {
         for (std::uint32_t i = 0; i < n; ++i) {
@@ -251,6 +266,8 @@ std::uint32_t
 PmdXchg::tx_burst(void **pkts, std::uint32_t n, TimeNs now,
                   AccessSink *sink)
 {
+    if (PMILL_TRACE_ON(tracer_))
+        tracer_->set_now(now);
     // Return completed buffers to the application as spares.
     for (const TxCompletion &c : to_recycle_)
         adapter_.recycle_buffer(c.buf_addr, c.buf_host, sink);

@@ -29,6 +29,7 @@
 namespace pmill {
 
 class MetricsRegistry;
+class Tracer;
 
 /** Stock DPDK-style PMD over generic mbufs. */
 class PmdStandard {
@@ -72,6 +73,17 @@ class PmdStandard {
 
     Mempool &pool() { return pool_; }
 
+    /**
+     * Attach @p t (nullptr detaches); RX bursts are recorded under
+     * span @p span and the tracer's burst clock follows rx/tx polls.
+     */
+    void
+    set_tracer(Tracer *t, std::uint16_t span)
+    {
+        tracer_ = t;
+        trace_span_ = span;
+    }
+
   private:
     MbufRef mbuf_of_buffer(Addr buf_addr, std::uint8_t *buf_host) const;
 
@@ -79,6 +91,8 @@ class PmdStandard {
     Mempool &pool_;
     std::uint32_t queue_;
     std::vector<MbufRef> to_free_;  ///< completed, waiting for free
+    Tracer *tracer_ = nullptr;
+    std::uint16_t trace_span_ = 0;
 };
 
 /** X-Change PMD writing metadata through application conversions. */
@@ -115,11 +129,21 @@ class PmdXchg {
     void register_metrics(MetricsRegistry &reg,
                           const std::string &prefix) const;
 
+    /** Same contract as PmdStandard::set_tracer. */
+    void
+    set_tracer(Tracer *t, std::uint16_t span)
+    {
+        tracer_ = t;
+        trace_span_ = span;
+    }
+
   private:
     NicDevice &nic_;
     XchgAdapter &adapter_;
     std::uint32_t queue_;
     std::vector<TxCompletion> to_recycle_;
+    Tracer *tracer_ = nullptr;
+    std::uint16_t trace_span_ = 0;
 };
 
 } // namespace pmill

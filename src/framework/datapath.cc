@@ -4,6 +4,7 @@
 
 #include "src/common/log.hh"
 #include "src/telemetry/metrics.hh"
+#include "src/tracing/tracer.hh"
 
 namespace pmill {
 
@@ -18,6 +19,7 @@ fill_handle(PacketHandle &h, Addr data_addr, std::uint8_t *data_host,
     h.data_addr = data_addr;
     h.len = len;
     h.arrival_ns = arrival;
+    h.trace_id = 0;
     h.out_port = 0;
     h.dropped = false;
 }
@@ -159,6 +161,13 @@ class CopyingDatapath : public Datapath {
     {
         return 1.0 - static_cast<double>(pool_.free_count()) /
                          static_cast<double>(pool_.capacity());
+    }
+
+    void
+    set_tracer(Tracer *t, const std::string &label) override
+    {
+        pmd_.set_tracer(t, t ? t->intern(label + ".pmd") : 0);
+        pool_.set_tracer(t, t ? t->intern(label + ".mempool") : 0);
     }
 
   private:
@@ -310,6 +319,13 @@ class OverlayDatapath : public Datapath {
                          static_cast<double>(pool_.capacity());
     }
 
+    void
+    set_tracer(Tracer *t, const std::string &label) override
+    {
+        pmd_.set_tracer(t, t ? t->intern(label + ".pmd") : 0);
+        pool_.set_tracer(t, t ? t->intern(label + ".mempool") : 0);
+    }
+
   private:
     const MetadataLayout &layout_;
     Mempool pool_;
@@ -458,6 +474,13 @@ class XchgDatapath : public Datapath, public XchgAdapter {
     {
         return 1.0 - static_cast<double>(spares_.size()) /
                          static_cast<double>(spares_.capacity());
+    }
+
+    void
+    set_tracer(Tracer *t, const std::string &label) override
+    {
+        // X-Change has no mempool; only the PMD records events.
+        pmd_.set_tracer(t, t ? t->intern(label + ".pmd") : 0);
     }
 
     // ----- XchgAdapter (the application's conversion functions) -----

@@ -36,6 +36,8 @@
 
 namespace pmill {
 
+class Tracer;
+
 /** Abstract application datapath over one NIC queue. */
 class Datapath {
   public:
@@ -76,6 +78,12 @@ class Datapath {
      * buffer set for X-Change).
      */
     virtual double pool_occupancy() const { return 0.0; }
+
+    /**
+     * Attach @p t (nullptr detaches) to the owned PMD and pools,
+     * interning spans under @p label (e.g. "q0"). Default: nothing.
+     */
+    virtual void set_tracer(Tracer *, const std::string &) {}
 };
 
 /** Sizing knobs shared by the datapath factories. */

@@ -34,6 +34,7 @@ struct PacketHandle {
 
     void *backing = nullptr;  ///< datapath-private (mbuf / xchg pkt)
     TimeNs arrival_ns = 0;    ///< wire arrival (latency bookkeeping)
+    std::uint64_t trace_id = 0;  ///< tracer packet id; 0 = unsampled
     std::uint8_t out_port = 0;  ///< routing decision of the last element
     bool dropped = false;
 };

@@ -4,6 +4,7 @@
 
 #include "src/common/log.hh"
 #include "src/elements/elements.hh"
+#include "src/tracing/tracer.hh"
 
 namespace pmill {
 
@@ -111,6 +112,17 @@ Pipeline::reset_element_stats()
     elem_stats_.assign(instances_.size(), ElementStats{});
 }
 
+void
+Pipeline::set_tracer(Tracer *t)
+{
+    tracer_ = t;
+    trace_spans_.assign(instances_.size(), 0);
+    if (t == nullptr)
+        return;
+    for (std::size_t i = 0; i < parsed_.elements.size(); ++i)
+        trace_spans_[i] = t->intern(parsed_.elements[i].name);
+}
+
 Element *
 Pipeline::find(const std::string &name) const
 {
@@ -157,6 +169,9 @@ Pipeline::process(PacketBatch &batch, ExecContext &ctx)
     if (batch.count == 0)
         return;
 
+    if (PMILL_TRACE_ON(tracer_))
+        trace_batch_ = tracer_->next_batch_id();
+
     // Per-packet pointer chase through the fragmented heap (vanilla
     // dynamic graph only; the paper's static graph removes it).
     if (!opts_.static_graph && frag_) {
@@ -192,18 +207,33 @@ Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
 {
     if (batch.count == 0)
         return;
+    const bool tron = PMILL_TRACE_ON(tracer_);
     if (idx < 0) {
         // Unconnected port: Click drops here.
         dropped_ += batch.count;
+        if (tron) {
+            for (std::uint32_t i = 0; i < batch.count; ++i)
+                if (batch[i].trace_id)
+                    tracer_->record(TraceEventKind::kDrop,
+                                    trace_base_ns_ + ctx.elapsed_ns(),
+                                    batch[i].trace_id, trace_batch_, 0,
+                                    kDropPipeline);
+        }
         return;
     }
 
     Element *e = instances_[static_cast<std::size_t>(idx)].get();
+    const std::uint16_t span =
+        tron ? trace_spans_[static_cast<std::size_t>(idx)] : 0;
 
     // Element boundary: dispatch cost + the element's state line.
     // The ExecContext counter deltas around the invocation charge the
     // boundary and the element's own work to its ElementStats entry.
     const ExecCounters c0 = ctx.counters();
+    if (tron)
+        tracer_->record(TraceEventKind::kElementEnter,
+                        trace_base_ns_ + ctx.elapsed_ns(), 0, trace_batch_,
+                        span, batch.count);
     ctx.dispatch(batch.count);
     ctx.load(e->state().addr, 16);
 
@@ -212,11 +242,32 @@ Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
 
     const ExecCounters &c1 = ctx.counters();
     ElementStats &es = elem_stats_[static_cast<std::size_t>(idx)];
+    const double dcycles = (c1.compute_cycles + c1.access_cycles) -
+                           (c0.compute_cycles + c0.access_cycles);
     es.packets += before;
     es.batches += 1;
-    es.cycles += (c1.compute_cycles + c1.access_cycles) -
-                 (c0.compute_cycles + c0.access_cycles);
+    es.cycles += dcycles;
     es.mem_ns += c1.wall_ns - c0.wall_ns;
+
+    if (tron) {
+        // Exit carries the batch's full cost deltas; each sampled
+        // packet additionally gets its per-packet share so lifecycle
+        // reconstruction needs no batch join.
+        const TimeNs t_exit = trace_base_ns_ + ctx.elapsed_ns();
+        const double ddur =
+            ((c1.compute_cycles + c1.access_cycles) -
+             (c0.compute_cycles + c0.access_cycles)) /
+                ctx.freq_ghz() +
+            (c1.wall_ns - c0.wall_ns);
+        tracer_->record(TraceEventKind::kElementExit, t_exit, 0,
+                        trace_batch_, span, before, dcycles, ddur);
+        const double inv = before ? 1.0 / before : 0.0;
+        for (std::uint32_t i = 0; i < batch.count; ++i)
+            if (batch[i].trace_id)
+                tracer_->record(TraceEventKind::kPacketElement, t_exit,
+                                batch[i].trace_id, trace_batch_, span, 1,
+                                dcycles * inv, ddur * inv);
+    }
 
     // Terminal: ToDPDKDevice stamps the egress port and collects.
     if (dynamic_cast<ToDPDKDevice *>(e) != nullptr) {
@@ -227,12 +278,25 @@ Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
                 ++forwarded_;
             } else {
                 ++dropped_;
+                if (tron && batch[i].trace_id)
+                    tracer_->record(TraceEventKind::kDrop,
+                                    trace_base_ns_ + ctx.elapsed_ns(),
+                                    batch[i].trace_id, trace_batch_, span,
+                                    kDropPipeline);
             }
         }
         return;
     }
 
     const std::uint32_t before_compact = batch.count;
+    if (tron) {
+        for (std::uint32_t i = 0; i < batch.count; ++i)
+            if (batch[i].dropped && batch[i].trace_id)
+                tracer_->record(TraceEventKind::kDrop,
+                                trace_base_ns_ + ctx.elapsed_ns(),
+                                batch[i].trace_id, trace_batch_, span,
+                                kDropPipeline);
+    }
     batch.compact();
     dropped_ += before_compact - batch.count;
     if (batch.count == 0)

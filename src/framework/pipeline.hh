@@ -33,6 +33,8 @@
 
 namespace pmill {
 
+class Tracer;
+
 class Pipeline {
   public:
     /**
@@ -98,6 +100,19 @@ class Pipeline {
     /** Zero the per-element counters (measurement-window alignment). */
     void reset_element_stats();
 
+    /**
+     * Attach the engine's tracer (nullptr detaches). Interns one span
+     * per element so record sites stay integer-only.
+     */
+    void set_tracer(Tracer *t);
+
+    /**
+     * Simulated time at which the current step's ExecContext counters
+     * started; event timestamps are base + ctx.elapsed_ns(). Set by
+     * the engine before each process() call.
+     */
+    void set_trace_time_base(TimeNs base) { trace_base_ns_ = base; }
+
   private:
     Pipeline() = default;
 
@@ -119,6 +134,11 @@ class Pipeline {
     std::uint64_t forwarded_ = 0;
     std::uint64_t dropped_ = 0;
     std::vector<ElementStats> elem_stats_;
+
+    Tracer *tracer_ = nullptr;
+    TimeNs trace_base_ns_ = 0;
+    std::uint32_t trace_batch_ = 0;  ///< current pipeline-invocation id
+    std::vector<std::uint16_t> trace_spans_;  ///< per-element span ids
 };
 
 } // namespace pmill

@@ -7,6 +7,7 @@
 #include "src/common/log.hh"
 #include "src/net/packet_builder.hh"
 #include "src/telemetry/metrics.hh"
+#include "src/tracing/tracer.hh"
 
 namespace pmill {
 
@@ -53,10 +54,14 @@ NicDevice::deliver(const std::uint8_t *frame, std::uint32_t len, TimeNs now)
 
     if (q.rx_free.empty()) {
         ++stats_.rx_drops_no_desc;
+        PMILL_TRACE(tracer_, TraceEventKind::kDrop, now, 0, 0, trace_span_,
+                    kDropNoRxDesc);
         return false;
     }
     if (q.completions.full()) {
         ++stats_.rx_drops_pcie;
+        PMILL_TRACE(tracer_, TraceEventKind::kDrop, now, 0, 0, trace_span_,
+                    kDropPcie);
         return false;
     }
 

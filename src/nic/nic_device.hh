@@ -32,6 +32,7 @@
 namespace pmill {
 
 class MetricsRegistry;
+class Tracer;
 
 /** Wire-level framing overhead: preamble(8) + IFG(12) + FCS(4). */
 inline constexpr std::uint32_t kWireOverheadBytes = 24;
@@ -135,6 +136,17 @@ class NicDevice {
 
     /** RX-ring occupancy in [0,1], averaged over all queues. */
     double rx_ring_occupancy() const;
+
+    /**
+     * Attach @p t (nullptr detaches); device-level drops are recorded
+     * under span @p span with the reason in arg.
+     */
+    void
+    set_tracer(Tracer *t, std::uint16_t span)
+    {
+        tracer_ = t;
+        trace_span_ = span;
+    }
 
     /** Wire time (ns) to serialize a frame of @p len bytes. */
     double
@@ -240,6 +252,8 @@ class NicDevice {
     std::vector<CacheHierarchy *> queue_caches_;
     std::vector<Queue> queues_;
     NicStats stats_;
+    Tracer *tracer_ = nullptr;
+    std::uint16_t trace_span_ = 0;
     TimeNs pcie_rx_free_ = 0;  ///< next instant the RX PCIe pipe frees
     TimeNs pcie_tx_free_ = 0;
     TimeNs wire_tx_free_ = 0;  ///< next instant the TX wire frees

@@ -46,5 +46,8 @@
 #include "src/telemetry/metrics.hh"
 #include "src/telemetry/sampler.hh"
 #include "src/trace/trace.hh"
+#include "src/tracing/lifecycle.hh"
+#include "src/tracing/trace_export.hh"
+#include "src/tracing/tracer.hh"
 
 #endif // PMILL_PMILL_HH

@@ -1,6 +1,7 @@
 #include "src/runtime/engine.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "src/common/log.hh"
@@ -51,6 +52,16 @@ exec_add(ExecCounters &into, const ExecCounters &s)
     into.accesses += s.accesses;
 }
 
+/** Bit pattern of an arrival timestamp (inflight-map key). */
+std::uint64_t
+arrival_key(TimeNs t)
+{
+    std::uint64_t k;
+    static_assert(sizeof(k) == sizeof(t));
+    std::memcpy(&k, &t, sizeof(k));
+    return k;
+}
+
 } // namespace
 
 Engine::Engine(const MachineConfig &machine, const std::string &config_text,
@@ -70,6 +81,7 @@ Engine::Engine(const MachineConfig &machine, const std::string &config_text,
     // (thread-local elements, flows partitioned by RSS).
     for (std::uint32_t c = 0; c < machine.num_cores; ++c) {
         auto core = std::make_unique<Core>();
+        core->index = static_cast<std::uint8_t>(c);
         core->caches = std::make_unique<CacheHierarchy>(machine.cache);
         core->ctx = std::make_unique<ExecContext>(
             *core->caches, machine.cost, opts, machine.freq_ghz);
@@ -221,6 +233,33 @@ Engine::register_telemetry()
 Engine::~Engine() = default;
 
 void
+Engine::enable_tracing(const TracerConfig &cfg)
+{
+    tracer_ = std::make_unique<Tracer>(cfg);
+    inflight_.clear();
+    for (auto &core : cores_) {
+        core->pipe->set_tracer(tracer_.get());
+        for (auto &bq : core->dps)
+            bq.dp->set_tracer(tracer_.get(),
+                              strprintf("nic%u.q%u", bq.nic, bq.queue));
+    }
+    for (std::size_t n = 0; n < nics_.size(); ++n)
+        nics_[n]->set_tracer(
+            tracer_.get(),
+            tracer_->intern(strprintf("nic%zu", n)));
+}
+
+TailAttribution
+Engine::tail_attribution(double threshold_us) const
+{
+    if (!tracer_)
+        return TailAttribution{};
+    if (threshold_us < 0)
+        threshold_us = last_p99_us_;
+    return attribute_tail(*tracer_, threshold_us);
+}
+
+void
 Engine::deliver_next(std::uint32_t nic_idx)
 {
     Generator &gen = gens_[nic_idx];
@@ -245,6 +284,16 @@ Engine::step_core(Core &core)
     ExecContext &ctx = *core.ctx;
     bool any = false;
 
+    const bool tron = PMILL_TRACE_ON(tracer_.get());
+    if (tron) {
+        // Event time inside the pipeline is reconstructed as
+        // base + ctx.elapsed_ns(); at step entry elapsed ==
+        // last_elapsed and sim time == clock.
+        tracer_->set_core(core.index);
+        tracer_->set_now(core.clock);
+        core.pipe->set_trace_time_base(core.clock - core.last_elapsed);
+    }
+
     for (std::size_t k = 0; k < core.dps.size(); ++k) {
         BoundQueue &bq =
             core.dps[(core.rr_cursor + k) % core.dps.size()];
@@ -253,6 +302,20 @@ Engine::step_core(Core &core)
         if (n == 0)
             continue;
         any = true;
+        if (tron) {
+            // Head-sample lifecycles: a sampled packet carries its id
+            // through the pipeline and into the inflight map so the
+            // TX completion can be joined back.
+            for (std::uint32_t i = 0; i < batch.count; ++i) {
+                if (!tracer_->sample_packet())
+                    continue;
+                PacketHandle &h = batch[i];
+                h.trace_id = tracer_->next_packet_id();
+                tracer_->record(TraceEventKind::kRxPacket, h.arrival_ns,
+                                h.trace_id, 0, 0, h.len);
+                inflight_[arrival_key(h.arrival_ns)] = h.trace_id;
+            }
+        }
         ctx.on_compute(ctx.cost().per_burst_cycles, 20);
         core.pipe->process(batch, ctx);
         // Post time includes the processing the core just performed.
@@ -292,6 +355,14 @@ Engine::drain_all_tx(TimeNs now)
         nics_[n]->drain_tx(now, tx_scratch_);
         for (const TxCompletion &c : tx_scratch_) {
             queue_dp_[n][c.queue]->on_tx_complete(c);
+            if (PMILL_TRACE_ON(tracer_.get()) && !inflight_.empty()) {
+                auto it = inflight_.find(arrival_key(c.arrival_ns));
+                if (it != inflight_.end()) {
+                    tracer_->record(TraceEventKind::kTx, c.departure_ns,
+                                    it->second, 0, 0, c.len);
+                    inflight_.erase(it);
+                }
+            }
             m_tx_pkts_.inc();
             m_tx_wire_bits_.add((c.len + kWireOverheadBytes) * 8ull);
             lat_interval_->record((c.departure_ns - c.arrival_ns) / 1000.0);
@@ -353,6 +424,11 @@ Engine::run(const RunConfig &rc)
             core->pipe->reset_element_stats();
         if (sampler_)
             sampler_->start(warm_end);
+        // Restart the trace ring so it holds the measured window.
+        if (tracer_) {
+            tracer_->clear();
+            inflight_.clear();
+        }
     };
 
     const TimeNs gen_stop = rc.generator_stop_us > 0
@@ -405,6 +481,7 @@ Engine::run(const RunConfig &rc)
     r.mean_latency_us = latency_->mean();
     r.median_latency_us = latency_->percentile(0.5);
     r.p99_latency_us = latency_->percentile(0.99);
+    last_p99_us_ = r.p99_latency_us;
 
     std::uint64_t drops = 0;
     for (auto &nic : nics_)

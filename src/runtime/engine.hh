@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/histogram.hh"
@@ -29,6 +30,8 @@
 #include "src/telemetry/metrics.hh"
 #include "src/telemetry/sampler.hh"
 #include "src/trace/trace.hh"
+#include "src/tracing/lifecycle.hh"
+#include "src/tracing/tracer.hh"
 
 namespace pmill {
 
@@ -144,6 +147,31 @@ class Engine {
      */
     std::vector<ElementStats> element_stats() const;
 
+    /// @name Event tracing (off unless enable_tracing() is called).
+    /// @{
+    /**
+     * Create the tracer and attach it to every instrumented
+     * component (pipelines, PMDs, mempools, NICs). The ring is
+     * cleared when measurement starts, so after run() it holds the
+     * measured window's events.
+     */
+    void enable_tracing(const TracerConfig &cfg = TracerConfig{});
+
+    /** The tracer, or nullptr when tracing was never enabled. */
+    Tracer *tracer() { return tracer_.get(); }
+    const Tracer *tracer() const { return tracer_.get(); }
+
+    /** p99 latency (us) of the most recent run. */
+    double last_p99_us() const { return last_p99_us_; }
+
+    /**
+     * Tail-latency attribution over the traced window. A negative
+     * @p threshold_us means "use the most recent run's p99". Empty
+     * when tracing is not enabled.
+     */
+    TailAttribution tail_attribution(double threshold_us = -1.0) const;
+    /// @}
+
   private:
     struct BoundQueue {
         std::uint32_t nic = 0;
@@ -160,6 +188,7 @@ class Engine {
         TimeNs clock = 0;
         TimeNs last_elapsed = 0;
         std::uint32_t rr_cursor = 0;
+        std::uint8_t index = 0;  ///< stamped on trace records
     };
 
     struct Generator {
@@ -205,6 +234,15 @@ class Engine {
     CounterHandle m_tx_pkts_;  ///< hot-path slot counters
     CounterHandle m_tx_wire_bits_;
     Histogram *lat_interval_ = nullptr;  ///< per-interval latency
+    /// @}
+
+    /// @name Tracing.
+    /// @{
+    std::unique_ptr<Tracer> tracer_;
+    /// Sampled packets between RX and TX, keyed by the arrival-time
+    /// bit pattern (the one field that survives into TxCompletion).
+    std::unordered_map<std::uint64_t, std::uint64_t> inflight_;
+    double last_p99_us_ = 0;
     /// @}
 };
 

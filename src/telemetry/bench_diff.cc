@@ -1,0 +1,368 @@
+#include "src/telemetry/bench_diff.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/log.hh"
+#include "src/common/table_printer.hh"
+#include "src/telemetry/export.hh"
+
+namespace pmill {
+
+namespace {
+
+/** Lower-cased alphanumeric tokens of a column name. */
+std::vector<std::string>
+tokens_of(const std::string &column)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char c : column) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            cur += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        } else if (!cur.empty()) {
+            toks.push_back(cur);
+            cur.clear();
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+    return toks;
+}
+
+bool
+has_token(const std::vector<std::string> &toks,
+          std::initializer_list<const char *> names)
+{
+    for (const std::string &t : toks)
+        for (const char *n : names)
+            if (t == n)
+                return true;
+    return false;
+}
+
+} // namespace
+
+ColumnClass
+classify_column(const std::string &column)
+{
+    const std::vector<std::string> toks = tokens_of(column);
+    // Input axes are identical between runs by construction; exclude
+    // them so a changed sweep shows up as a row mismatch, not a fake
+    // throughput regression.
+    if (has_token(toks, {"offered", "bytes", "size", "len", "cores",
+                         "ghz", "freq", "rate", "improvement",
+                         "speedup", "ratio"}))
+        return ColumnClass::kInformational;
+    if (has_token(toks, {"latency", "p50", "p99", "p999", "us", "ns",
+                         "miss", "misses", "drop", "drops", "cycles",
+                         "cpp", "stall", "stalls"}))
+        return ColumnClass::kLowerBetter;
+    if (has_token(toks, {"gbps", "mpps", "pps", "thr", "throughput",
+                         "goodput", "ipc", "ops",
+                         // Model-comparison tables (fig04/fig05) name
+                         // throughput columns after the metadata model.
+                         "copying", "overlaying", "xchange", "x",
+                         "vanilla", "packetmill"}))
+        return ColumnClass::kHigherBetter;
+    return ColumnClass::kInformational;
+}
+
+bool
+parse_json_object_line(const std::string &line,
+                       std::map<std::string, std::string> *out)
+{
+    out->clear();
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    auto skip_ws = [&] {
+        while (i < n && std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+    };
+    auto parse_string = [&](std::string *s) -> bool {
+        if (i >= n || line[i] != '"')
+            return false;
+        ++i;
+        s->clear();
+        while (i < n && line[i] != '"') {
+            if (line[i] == '\\' && i + 1 < n) {
+                ++i;
+                switch (line[i]) {
+                  case 'n': *s += '\n'; break;
+                  case 't': *s += '\t'; break;
+                  case 'r': *s += '\r'; break;
+                  case 'u':
+                    // \uXXXX: artifacts only emit control chars this
+                    // way; decode the low byte.
+                    if (i + 4 < n) {
+                        *s += static_cast<char>(std::strtol(
+                            line.substr(i + 1, 4).c_str(), nullptr, 16));
+                        i += 4;
+                    }
+                    break;
+                  default: *s += line[i];
+                }
+            } else {
+                *s += line[i];
+            }
+            ++i;
+        }
+        if (i >= n)
+            return false;
+        ++i;  // closing quote
+        return true;
+    };
+
+    skip_ws();
+    if (i >= n || line[i] != '{')
+        return false;
+    ++i;
+    skip_ws();
+    if (i < n && line[i] == '}')
+        return true;
+    while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key))
+            return false;
+        skip_ws();
+        if (i >= n || line[i] != ':')
+            return false;
+        ++i;
+        skip_ws();
+        std::string val;
+        if (i < n && line[i] == '"') {
+            if (!parse_string(&val))
+                return false;
+        } else if (i < n && line[i] == '[') {
+            // Arrays only appear as the meta line's column list;
+            // capture the raw bracketed text.
+            const std::size_t start = i;
+            int depth = 0;
+            bool in_str = false;
+            for (; i < n; ++i) {
+                const char c = line[i];
+                if (in_str) {
+                    if (c == '\\')
+                        ++i;
+                    else if (c == '"')
+                        in_str = false;
+                } else if (c == '"') {
+                    in_str = true;
+                } else if (c == '[') {
+                    ++depth;
+                } else if (c == ']' && --depth == 0) {
+                    ++i;
+                    break;
+                }
+            }
+            if (depth != 0)
+                return false;
+            val = line.substr(start, i - start);
+        } else {
+            // Bare token: number / true / false / null.
+            const std::size_t start = i;
+            while (i < n && line[i] != ',' && line[i] != '}')
+                ++i;
+            val = line.substr(start, i - start);
+            while (!val.empty() &&
+                   std::isspace(static_cast<unsigned char>(val.back())))
+                val.pop_back();
+            if (val.empty())
+                return false;
+        }
+        (*out)[key] = val;
+        skip_ws();
+        if (i < n && line[i] == ',') {
+            ++i;
+            continue;
+        }
+        break;
+    }
+    skip_ws();
+    return i < n && line[i] == '}';
+}
+
+bool
+load_bench_table(const std::string &path, BenchTable *out, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    *out = BenchTable{};
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::map<std::string, std::string> obj;
+        if (!parse_json_object_line(line, &obj)) {
+            if (err)
+                *err = path + ": malformed line: " + line;
+            return false;
+        }
+        const auto type = obj.find("type");
+        if (type == obj.end())
+            continue;
+        if (type->second == "meta") {
+            out->bench = obj.count("bench") ? obj["bench"] : "";
+            out->title = obj.count("title") ? obj["title"] : "";
+            // Columns arrive as the raw `["a","b"]` text.
+            const std::string cols =
+                obj.count("columns") ? obj["columns"] : "[]";
+            std::string cur;
+            bool in_str = false;
+            for (std::size_t i = 0; i < cols.size(); ++i) {
+                const char c = cols[i];
+                if (in_str) {
+                    if (c == '\\' && i + 1 < cols.size())
+                        cur += cols[++i];
+                    else if (c == '"') {
+                        out->columns.push_back(cur);
+                        cur.clear();
+                        in_str = false;
+                    } else {
+                        cur += c;
+                    }
+                } else if (c == '"') {
+                    in_str = true;
+                }
+            }
+        } else if (type->second == "row") {
+            obj.erase("type");
+            out->rows.push_back(std::move(obj));
+        }
+    }
+    if (out->bench.empty() && err)
+        *err = path + ": no meta line";
+    return !out->bench.empty();
+}
+
+std::vector<std::string>
+list_bench_artifacts(const std::string &dir)
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!e.is_regular_file())
+            continue;
+        const std::filesystem::path p = e.path();
+        if (p.extension() == ".json")
+            names.push_back(p.stem().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+BenchDiffResult
+diff_bench_dirs(const std::string &base_dir, const std::string &cur_dir,
+                double threshold_pct)
+{
+    BenchDiffResult res;
+    res.threshold_pct = threshold_pct;
+
+    for (const std::string &name : list_bench_artifacts(base_dir)) {
+        BenchTable base, cur;
+        std::string err;
+        if (!load_bench_table(base_dir + "/" + name + ".json", &base,
+                              &err)) {
+            res.errors.push_back(err);
+            continue;
+        }
+        if (!std::filesystem::exists(cur_dir + "/" + name + ".json")) {
+            res.missing.push_back(name);
+            continue;
+        }
+        if (!load_bench_table(cur_dir + "/" + name + ".json", &cur,
+                              &err)) {
+            res.errors.push_back(err);
+            continue;
+        }
+        if (base.rows.size() != cur.rows.size()) {
+            res.errors.push_back(strprintf(
+                "%s: row count changed (%zu baseline, %zu current)",
+                name.c_str(), base.rows.size(), cur.rows.size()));
+            continue;
+        }
+
+        for (const std::string &col : base.columns) {
+            const ColumnClass cls = classify_column(col);
+            if (cls == ColumnClass::kInformational)
+                continue;
+            for (std::size_t r = 0; r < base.rows.size(); ++r) {
+                const auto bv = base.rows[r].find(col);
+                const auto cv = cur.rows[r].find(col);
+                if (bv == base.rows[r].end() || cv == cur.rows[r].end())
+                    continue;
+                if (!json_is_numeric(bv->second) ||
+                    !json_is_numeric(cv->second))
+                    continue;
+                BenchDiffResult::Delta d;
+                d.bench = name;
+                d.column = col;
+                d.row = r;
+                d.base = std::atof(bv->second.c_str());
+                d.cur = std::atof(cv->second.c_str());
+                d.cls = cls;
+                const double denom = std::max(std::fabs(d.base), 1e-12);
+                d.pct = (d.cur - d.base) / denom * 100.0;
+                d.regression =
+                    cls == ColumnClass::kHigherBetter
+                        ? d.pct < -threshold_pct
+                        : d.pct > threshold_pct;
+                if (d.regression)
+                    ++res.num_regressions;
+                res.deltas.push_back(std::move(d));
+            }
+        }
+    }
+    return res;
+}
+
+std::string
+BenchDiffResult::to_string(bool verbose) const
+{
+    std::string out = strprintf(
+        "bench diff: %zu comparisons, %zu regression(s) beyond %.1f%%\n",
+        deltas.size(), num_regressions, threshold_pct);
+    for (const std::string &m : missing)
+        out += "  MISSING: " + m + " (in baseline, not in current run)\n";
+    for (const std::string &e : errors)
+        out += "  ERROR: " + e + "\n";
+
+    TablePrinter t;
+    t.header({"bench", "column", "row", "baseline", "current", "change",
+              "verdict"});
+    // Regressions always shown; with verbose, every comparison.
+    std::vector<const Delta *> shown;
+    for (const Delta &d : deltas)
+        if (verbose || d.regression)
+            shown.push_back(&d);
+    std::stable_sort(shown.begin(), shown.end(),
+                     [](const Delta *a, const Delta *b) {
+                         if (a->regression != b->regression)
+                             return a->regression;
+                         return std::fabs(a->pct) > std::fabs(b->pct);
+                     });
+    for (const Delta *d : shown) {
+        t.row({d->bench, d->column, strprintf("%zu", d->row),
+               strprintf("%.4g", d->base), strprintf("%.4g", d->cur),
+               strprintf("%+.2f%%", d->pct),
+               d->regression ? "REGRESSION" : "ok"});
+    }
+    if (t.num_rows())
+        out += t.to_string();
+    else if (!deltas.empty())
+        out += "  all tracked metrics within threshold\n";
+    return out;
+}
+
+} // namespace pmill

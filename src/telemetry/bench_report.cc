@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include "src/common/log.hh"
@@ -52,6 +53,14 @@ BenchReport::write_artifacts() const
     std::string base = dir ? dir : ".";
     if (base == "none")
         return;
+
+    std::error_code ec;
+    std::filesystem::create_directories(base, ec);
+    if (ec) {
+        warn("bench artifacts: cannot create %s: %s", base.c_str(),
+             ec.message().c_str());
+        return;
+    }
     base += "/" + name_;
 
     std::ofstream json(base + ".json");
@@ -69,8 +78,8 @@ BenchReport::write_artifacts() const
     for (const auto &r : rows_) {
         json << "{\"type\":\"row\"";
         for (std::size_t i = 0; i < r.size() && i < header_.size(); ++i)
-            json << ",\"" << json_escape(header_[i]) << "\":\""
-                 << json_escape(r[i]) << '"';
+            json << ",\"" << json_escape(header_[i])
+                 << "\":" << json_cell(r[i]);
         json << "}\n";
     }
 

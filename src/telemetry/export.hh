@@ -25,6 +25,19 @@ std::string json_escape(const std::string &s);
 /** Format @p v as a JSON number (finite; NaN/inf degrade to 0). */
 std::string json_number(double v);
 
+/**
+ * True when @p s parses in full as a finite decimal number ("12.3",
+ * "-4e5"), i.e.\ it can be emitted as a bare JSON number. "inf",
+ * "nan", "1.2x", "85%", and "" are not numeric cells.
+ */
+bool json_is_numeric(const std::string &s);
+
+/**
+ * @p s rendered as a JSON value: bare when json_is_numeric(), an
+ * escaped string literal otherwise.
+ */
+std::string json_cell(const std::string &s);
+
 /** Write one CSV record (RFC-4180 quoting) terminated by '\n'. */
 void write_csv_record(std::ostream &os,
                       const std::vector<std::string> &cells);

@@ -1,0 +1,171 @@
+#include "src/tracing/trace_export.hh"
+
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "src/common/log.hh"
+#include "src/telemetry/export.hh"
+
+namespace pmill {
+
+namespace {
+
+/** ts in microseconds of simulated time, sub-ns resolution. */
+std::string
+ts_us(TimeNs t_ns)
+{
+    return strprintf("%.4f", t_ns / 1000.0);
+}
+
+} // namespace
+
+void
+export_chrome_trace(const Tracer &tracer, std::ostream &os)
+{
+    std::vector<std::string> events;
+    const std::size_t n = tracer.size();
+
+    // Pass 1: discover cores (thread tracks) and pair up sampled
+    // packets' RX/TX so the async track only carries complete pairs.
+    std::map<std::uint8_t, bool> cores;
+    struct PacketEnds {
+        TimeNs rx_ns = 0;
+        TimeNs tx_ns = 0;
+        std::uint32_t len = 0;
+        bool have_rx = false;
+        bool have_tx = false;
+    };
+    std::map<std::uint64_t, PacketEnds> packets;
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = tracer.at(i);
+        cores[r.core] = true;
+        if (r.kind == TraceEventKind::kRxPacket) {
+            PacketEnds &p = packets[r.packet_id];
+            p.rx_ns = r.t_ns;
+            p.len = r.arg;
+            p.have_rx = true;
+        } else if (r.kind == TraceEventKind::kTx && r.packet_id != 0) {
+            PacketEnds &p = packets[r.packet_id];
+            p.tx_ns = r.t_ns;
+            p.have_tx = true;
+        }
+    }
+
+    for (const auto &[core, unused] : cores) {
+        (void)unused;
+        events.push_back(strprintf(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"core %u\"}}",
+            core, core));
+    }
+
+    // Pass 2: element duration pairs via per-core stacks. An exit
+    // whose enter was overwritten (empty stack) is dropped; an enter
+    // whose exit fell outside the ring stays unemitted. Either way the
+    // output only ever contains matched B/E pairs.
+    std::map<std::uint8_t, std::vector<TraceRecord>> open;
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = tracer.at(i);
+        switch (r.kind) {
+          case TraceEventKind::kElementEnter:
+            open[r.core].push_back(r);
+            break;
+          case TraceEventKind::kElementExit: {
+            std::vector<TraceRecord> &stack = open[r.core];
+            while (!stack.empty() && stack.back().span != r.span)
+                stack.pop_back();  // enter lost to overwrite
+            if (stack.empty())
+                break;
+            const TraceRecord enter = stack.back();
+            stack.pop_back();
+            const std::string name = json_escape(tracer.span_name(r.span));
+            events.push_back(strprintf(
+                "{\"ph\":\"B\",\"pid\":1,\"tid\":%u,\"ts\":%s,"
+                "\"name\":\"%s\",\"cat\":\"element\","
+                "\"args\":{\"batch\":%u,\"count\":%u}}",
+                enter.core, ts_us(enter.t_ns).c_str(), name.c_str(),
+                enter.batch_id, enter.arg));
+            events.push_back(strprintf(
+                "{\"ph\":\"E\",\"pid\":1,\"tid\":%u,\"ts\":%s,"
+                "\"name\":\"%s\",\"cat\":\"element\","
+                "\"args\":{\"cycles\":%s,\"dur_ns\":%s}}",
+                r.core, ts_us(r.t_ns).c_str(), name.c_str(),
+                json_number(r.cycles).c_str(),
+                json_number(r.dur_ns).c_str()));
+            break;
+          }
+          case TraceEventKind::kRxBurst:
+            events.push_back(strprintf(
+                "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%s,"
+                "\"name\":\"rx_burst\",\"cat\":\"driver\",\"s\":\"t\","
+                "\"args\":{\"count\":%u}}",
+                r.core, ts_us(r.t_ns).c_str(), r.arg));
+            break;
+          case TraceEventKind::kDrop:
+            events.push_back(strprintf(
+                "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%s,"
+                "\"name\":\"drop\",\"cat\":\"driver\",\"s\":\"t\","
+                "\"args\":{\"reason\":%u}}",
+                r.core, ts_us(r.t_ns).c_str(), r.arg));
+            break;
+          case TraceEventKind::kMempoolGet:
+          case TraceEventKind::kMempoolPut:
+            events.push_back(strprintf(
+                "{\"ph\":\"C\",\"pid\":1,\"tid\":%u,\"ts\":%s,"
+                "\"name\":\"%s free\",\"args\":{\"free\":%u}}",
+                r.core, ts_us(r.t_ns).c_str(),
+                json_escape(tracer.span_name(r.span)).c_str(), r.arg));
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Async lifecycle track: one "b"/"e" pair per completed sampled
+    // packet, ids shared across cores.
+    for (const auto &[pid, p] : packets) {
+        if (!p.have_rx || !p.have_tx)
+            continue;
+        events.push_back(strprintf(
+            "{\"ph\":\"b\",\"pid\":1,\"tid\":0,\"ts\":%s,"
+            "\"id\":\"%llu\",\"name\":\"packet\",\"cat\":\"lifecycle\","
+            "\"args\":{\"len\":%u}}",
+            ts_us(p.rx_ns).c_str(),
+            static_cast<unsigned long long>(pid), p.len));
+        events.push_back(strprintf(
+            "{\"ph\":\"e\",\"pid\":1,\"tid\":0,\"ts\":%s,"
+            "\"id\":\"%llu\",\"name\":\"packet\",\"cat\":\"lifecycle\"}",
+            ts_us(p.tx_ns).c_str(),
+            static_cast<unsigned long long>(pid)));
+    }
+
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\n" << events[i];
+    }
+    os << "\n]}\n";
+}
+
+void
+export_trace_jsonl(const Tracer &tracer, std::ostream &os)
+{
+    const std::size_t n = tracer.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = tracer.at(i);
+        os << "{\"kind\":\"" << trace_event_name(r.kind)
+           << "\",\"t_ns\":" << json_number(r.t_ns)
+           << ",\"core\":" << static_cast<unsigned>(r.core)
+           << ",\"batch\":" << r.batch_id << ",\"packet\":" << r.packet_id
+           << ",\"span\":\"" << json_escape(tracer.span_name(r.span))
+           << "\",\"arg\":" << r.arg;
+        if (r.cycles != 0 || r.dur_ns != 0)
+            os << ",\"cycles\":" << json_number(r.cycles)
+               << ",\"dur_ns\":" << json_number(r.dur_ns);
+        os << "}\n";
+    }
+}
+
+} // namespace pmill

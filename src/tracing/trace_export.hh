@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Trace exporters: Chrome/Perfetto trace-event JSON and compact JSONL.
+ *
+ * The Chrome format (one JSON object with a `traceEvents` array) loads
+ * directly into https://ui.perfetto.dev or chrome://tracing and gives
+ * a per-core flame view of element execution plus async tracks for
+ * sampled packet lifecycles. The JSONL form is one record per line,
+ * span names resolved, for ad-hoc jq/pandas analysis.
+ */
+
+#ifndef PMILL_TRACING_TRACE_EXPORT_HH
+#define PMILL_TRACING_TRACE_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "src/tracing/tracer.hh"
+
+namespace pmill {
+
+/**
+ * Write the ring as Chrome trace-event JSON.
+ *
+ * Emitted events:
+ *  - "M" thread metadata naming each DUT core's track;
+ *  - matched "B"/"E" duration pairs for element execution (per-core
+ *    stack matching, so a ring that overwrote an enter never yields a
+ *    dangling end);
+ *  - async "b"/"e" pairs per sampled packet (RX to TX), id = packet id;
+ *  - "i" instants for RX bursts and drops;
+ *  - "C" counters for mempool free-buffer levels.
+ *
+ * Timestamps are microseconds of simulated time.
+ */
+void export_chrome_trace(const Tracer &tracer, std::ostream &os);
+
+/** Write one resolved JSON object per ring record, oldest first. */
+void export_trace_jsonl(const Tracer &tracer, std::ostream &os);
+
+} // namespace pmill
+
+#endif // PMILL_TRACING_TRACE_EXPORT_HH

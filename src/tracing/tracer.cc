@@ -1,0 +1,74 @@
+#include "src/tracing/tracer.hh"
+
+#include "src/common/log.hh"
+
+namespace pmill {
+
+namespace {
+
+std::size_t
+pow2_at_least(std::size_t v)
+{
+    std::size_t n = 1;
+    while (n < v)
+        n <<= 1;
+    return n;
+}
+
+} // namespace
+
+const char *
+trace_event_name(TraceEventKind k)
+{
+    switch (k) {
+      case TraceEventKind::kRxBurst: return "rx_burst";
+      case TraceEventKind::kRxPacket: return "rx_packet";
+      case TraceEventKind::kElementEnter: return "element_enter";
+      case TraceEventKind::kElementExit: return "element_exit";
+      case TraceEventKind::kPacketElement: return "packet_element";
+      case TraceEventKind::kMempoolGet: return "mempool_get";
+      case TraceEventKind::kMempoolPut: return "mempool_put";
+      case TraceEventKind::kTx: return "tx";
+      case TraceEventKind::kDrop: return "drop";
+    }
+    return "unknown";
+}
+
+Tracer::Tracer(const TracerConfig &cfg)
+    : sample_rate_(cfg.sample_rate), rng_(cfg.seed)
+{
+    PMILL_ASSERT(cfg.capacity >= 2, "tracer ring too small");
+    const std::size_t cap = pow2_at_least(cfg.capacity);
+    ring_.resize(cap);
+    mask_ = cap - 1;
+    spans_.push_back("");  // span 0: unknown
+}
+
+std::uint16_t
+Tracer::intern(const std::string &name)
+{
+    for (std::size_t i = 0; i < spans_.size(); ++i)
+        if (spans_[i] == name)
+            return static_cast<std::uint16_t>(i);
+    PMILL_ASSERT(spans_.size() < 0xFFFF, "span table overflow");
+    spans_.push_back(name);
+    return static_cast<std::uint16_t>(spans_.size() - 1);
+}
+
+const std::string &
+Tracer::span_name(std::uint16_t id) const
+{
+    static const std::string kEmpty;
+    return id < spans_.size() ? spans_[id] : kEmpty;
+}
+
+void
+Tracer::clear()
+{
+    head_ = 0;
+    packet_seq_ = 0;
+    batch_seq_ = 0;
+    now_ = 0;
+}
+
+} // namespace pmill

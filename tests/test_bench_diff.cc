@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Bench-regression gating tests: the flat JSON-line parser, column
+ * direction classification, artifact loading, and directory diffing
+ * (pass, regression, improvement, missing bench, malformed input).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/telemetry/bench_diff.hh"
+
+namespace pmill {
+namespace {
+
+/**
+ * Scratch dir under the test cwd (the build tree, always writable).
+ * The path embeds the running test's name: ctest -j runs each TEST in
+ * its own process but in the same cwd, so dirs must not be shared.
+ */
+class ScratchDir {
+  public:
+    explicit ScratchDir(const std::string &name)
+        : path_(std::string("bench_diff_scratch_") +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                "_" + name)
+    {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(path_); }
+
+    const std::string &path() const { return path_; }
+
+    void
+    write(const std::string &file, const std::string &content) const
+    {
+        std::ofstream out(path_ + "/" + file);
+        out << content;
+    }
+
+  private:
+    std::string path_;
+};
+
+const char kGoldenTable[] =
+    "{\"type\":\"meta\",\"bench\":\"t\",\"title\":\"T\","
+    "\"columns\":[\"Offered(Gbps)\",\"Thr(Gbps)\",\"p99(us)\"]}\n"
+    "{\"type\":\"row\",\"Offered(Gbps)\":50,\"Thr(Gbps)\":49.5,"
+    "\"p99(us)\":3.0}\n"
+    "{\"type\":\"row\",\"Offered(Gbps)\":100,\"Thr(Gbps)\":82.0,"
+    "\"p99(us)\":9.5}\n";
+
+TEST(BenchDiffParser, FlatObjects)
+{
+    std::map<std::string, std::string> o;
+    ASSERT_TRUE(parse_json_object_line(
+        "{\"a\":\"x\",\"b\":1.5,\"c\":true,\"d\":\"q\\\"u\\\\o\"}", &o));
+    EXPECT_EQ(o.at("a"), "x");
+    EXPECT_EQ(o.at("b"), "1.5");
+    EXPECT_EQ(o.at("c"), "true");
+    EXPECT_EQ(o.at("d"), "q\"u\\o");
+
+    ASSERT_TRUE(parse_json_object_line("  { }  ", &o));
+    EXPECT_TRUE(o.empty());
+
+    ASSERT_TRUE(parse_json_object_line(
+        "{\"cols\":[\"a\",\"b\"],\"n\":2}", &o));
+    EXPECT_EQ(o.at("cols"), "[\"a\",\"b\"]");
+    EXPECT_EQ(o.at("n"), "2");
+
+    EXPECT_FALSE(parse_json_object_line("", &o));
+    EXPECT_FALSE(parse_json_object_line("not json", &o));
+    EXPECT_FALSE(parse_json_object_line("{\"a\":}", &o));
+    EXPECT_FALSE(parse_json_object_line("{\"a\":1", &o));
+    EXPECT_FALSE(parse_json_object_line("[1,2]", &o));
+}
+
+TEST(BenchDiffClassify, DirectionFromName)
+{
+    EXPECT_EQ(classify_column("Thr(Gbps)"), ColumnClass::kHigherBetter);
+    EXPECT_EQ(classify_column("Throughput"), ColumnClass::kHigherBetter);
+    EXPECT_EQ(classify_column("Mpps"), ColumnClass::kHigherBetter);
+    EXPECT_EQ(classify_column("IPC"), ColumnClass::kHigherBetter);
+    EXPECT_EQ(classify_column("Copying"), ColumnClass::kHigherBetter);
+    EXPECT_EQ(classify_column("X-Change"), ColumnClass::kHigherBetter);
+
+    EXPECT_EQ(classify_column("p99(us)"), ColumnClass::kLowerBetter);
+    EXPECT_EQ(classify_column("Median lat(us)"),
+              ColumnClass::kLowerBetter);
+    EXPECT_EQ(classify_column("LLC misses"), ColumnClass::kLowerBetter);
+    EXPECT_EQ(classify_column("Cycles/pkt"), ColumnClass::kLowerBetter);
+    EXPECT_EQ(classify_column("Drops"), ColumnClass::kLowerBetter);
+
+    // Input axes and derived ratios are never gated, even when the
+    // token also names a unit ("Offered(Gbps)" is an axis, not a
+    // measurement).
+    EXPECT_EQ(classify_column("Offered(Gbps)"),
+              ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("Pkt size"), ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("Freq(GHz)"), ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("Improvement"),
+              ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("Configuration"),
+              ColumnClass::kInformational);
+}
+
+TEST(BenchDiffLoad, TableRoundTrip)
+{
+    ScratchDir dir("load");
+    dir.write("t.json", kGoldenTable);
+
+    BenchTable tab;
+    std::string err;
+    ASSERT_TRUE(load_bench_table(dir.path() + "/t.json", &tab, &err))
+        << err;
+    EXPECT_EQ(tab.bench, "t");
+    EXPECT_EQ(tab.title, "T");
+    ASSERT_EQ(tab.columns.size(), 3u);
+    EXPECT_EQ(tab.columns[1], "Thr(Gbps)");
+    ASSERT_EQ(tab.rows.size(), 2u);
+    EXPECT_EQ(tab.rows[1].at("Thr(Gbps)"), "82.0");
+
+    EXPECT_FALSE(load_bench_table(dir.path() + "/nope.json", &tab, &err));
+    dir.write("bad.json", "{\"type\":\"row\"}\n");
+    EXPECT_FALSE(load_bench_table(dir.path() + "/bad.json", &tab, &err))
+        << "a table without a meta line is malformed";
+}
+
+TEST(BenchDiffDirs, PassWithinThreshold)
+{
+    ScratchDir base("base"), cur("cur");
+    base.write("t.json", kGoldenTable);
+    // Thr +2%, p99 +3%: inside a 5% gate.
+    cur.write("t.json",
+              "{\"type\":\"meta\",\"bench\":\"t\",\"title\":\"T\","
+              "\"columns\":[\"Offered(Gbps)\",\"Thr(Gbps)\","
+              "\"p99(us)\"]}\n"
+              "{\"type\":\"row\",\"Offered(Gbps)\":50,\"Thr(Gbps)\":49.9,"
+              "\"p99(us)\":3.05}\n"
+              "{\"type\":\"row\",\"Offered(Gbps)\":100,"
+              "\"Thr(Gbps)\":83.5,\"p99(us)\":9.7}\n");
+
+    const BenchDiffResult res =
+        diff_bench_dirs(base.path(), cur.path(), 5.0);
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.num_regressions, 0u);
+    // 2 rows x 2 gated columns; the Offered axis is not compared.
+    EXPECT_EQ(res.deltas.size(), 4u);
+}
+
+TEST(BenchDiffDirs, DirectionalGating)
+{
+    ScratchDir base("base"), cur("cur");
+    base.write("t.json", kGoldenTable);
+    // Row 0: throughput collapsed (regression). Row 1: p99 doubled
+    // (regression) while throughput improved (not a regression).
+    cur.write("t.json",
+              "{\"type\":\"meta\",\"bench\":\"t\",\"title\":\"T\","
+              "\"columns\":[\"Offered(Gbps)\",\"Thr(Gbps)\","
+              "\"p99(us)\"]}\n"
+              "{\"type\":\"row\",\"Offered(Gbps)\":50,\"Thr(Gbps)\":40.0,"
+              "\"p99(us)\":3.0}\n"
+              "{\"type\":\"row\",\"Offered(Gbps)\":100,"
+              "\"Thr(Gbps)\":95.0,\"p99(us)\":19.0}\n");
+
+    const BenchDiffResult res =
+        diff_bench_dirs(base.path(), cur.path(), 5.0);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.num_regressions, 2u);
+    for (const auto &d : res.deltas) {
+        if (d.regression) {
+            EXPECT_TRUE((d.column == "Thr(Gbps)" && d.row == 0) ||
+                        (d.column == "p99(us)" && d.row == 1))
+                << d.column << " row " << d.row;
+        }
+    }
+    const std::string report = res.to_string();
+    EXPECT_NE(report.find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchDiffDirs, MissingAndMalformedFailTheGate)
+{
+    ScratchDir base("base"), cur("cur");
+    base.write("t.json", kGoldenTable);
+    // Current run produced no artifact at all.
+    BenchDiffResult res = diff_bench_dirs(base.path(), cur.path(), 5.0);
+    EXPECT_FALSE(res.ok());
+    ASSERT_EQ(res.missing.size(), 1u);
+    EXPECT_EQ(res.missing[0], "t");
+
+    // Row-count mismatch is an error, not a silent partial diff.
+    cur.write("t.json",
+              "{\"type\":\"meta\",\"bench\":\"t\",\"title\":\"T\","
+              "\"columns\":[\"Offered(Gbps)\",\"Thr(Gbps)\","
+              "\"p99(us)\"]}\n"
+              "{\"type\":\"row\",\"Offered(Gbps)\":50,\"Thr(Gbps)\":49.5,"
+              "\"p99(us)\":3.0}\n");
+    res = diff_bench_dirs(base.path(), cur.path(), 5.0);
+    EXPECT_FALSE(res.ok());
+    ASSERT_EQ(res.errors.size(), 1u);
+    EXPECT_NE(res.errors[0].find("row count"), std::string::npos);
+}
+
+TEST(BenchDiffDirs, IdenticalDirsAlwaysPass)
+{
+    ScratchDir base("base"), cur("cur");
+    base.write("t.json", kGoldenTable);
+    cur.write("t.json", kGoldenTable);
+    const BenchDiffResult res =
+        diff_bench_dirs(base.path(), cur.path(), 0.0001);
+    EXPECT_TRUE(res.ok()) << res.to_string(true);
+}
+
+} // namespace
+} // namespace pmill

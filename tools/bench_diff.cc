@@ -1,0 +1,75 @@
+/**
+ * @file
+ * pmill_bench_diff: CI gate comparing two bench-artifact directories.
+ *
+ * Usage:
+ *   pmill_bench_diff <baseline_dir> <current_dir>
+ *                    [--threshold PCT] [--verbose]
+ *
+ * Exits 0 when every tracked metric (throughput-like up, latency-like
+ * down) of every baseline artifact is within the threshold; exits 1
+ * on any regression, missing bench, or malformed artifact.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/telemetry/bench_diff.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <baseline_dir> <current_dir> "
+                 "[--threshold PCT] [--verbose]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string base_dir, cur_dir;
+    double threshold = 5.0;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--verbose" || arg == "-v") {
+            verbose = true;
+        } else if (arg == "--threshold" && i + 1 < argc) {
+            threshold = std::atof(argv[++i]);
+        } else if (arg.rfind("--threshold=", 0) == 0) {
+            threshold = std::atof(arg.c_str() + std::strlen("--threshold="));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (base_dir.empty()) {
+            base_dir = arg;
+        } else if (cur_dir.empty()) {
+            cur_dir = arg;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (base_dir.empty() || cur_dir.empty() || threshold <= 0) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    const pmill::BenchDiffResult res =
+        pmill::diff_bench_dirs(base_dir, cur_dir, threshold);
+    std::fputs(res.to_string(verbose).c_str(), stdout);
+    if (res.ok()) {
+        std::printf("PASS\n");
+        return 0;
+    }
+    std::printf("FAIL\n");
+    return 1;
+}
