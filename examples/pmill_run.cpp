@@ -32,13 +32,24 @@
  *                       as JSON Lines
  *   --trace-sample-rate R   fraction of packets traced per-packet
  *                       (default 1.0; batch events are always traced)
+ *   --profile-out PATH  capture run: record rule hits + lifecycle
+ *                       events, distill them into a Profile artifact
+ *   --profile-in PATH   guided run: load a Profile, apply its
+ *                       searched plan (rule orders, burst, model,
+ *                       state placement) before/while grinding
  *
- * Every option also accepts the `--name=value` form. Enabling any
- * trace output prints the tail-latency attribution table: where the
- * packets above the run's p99 spent their extra time.
+ * Every option also accepts the `--name=value` form. Numeric values
+ * are validated strictly: a malformed or out-of-range value (e.g.\
+ * `--trace-sample-rate=0` or `--cores=abc`) is rejected with an
+ * error, not silently clamped. Enabling any trace output prints the
+ * tail-latency attribution table: where the packets above the run's
+ * p99 spent their extra time. `--verify` with `--profile-in` checks
+ * the profile-guided plan against the unguided build of the same
+ * configuration instead of the vanilla baseline.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -60,9 +71,50 @@ usage(const char *argv0)
                  "[--size BYTES] [--duration US] [--verify] [--report] "
                  "[--json] [--stats-json PATH] [--stats-csv PATH] "
                  "[--sample-interval-us N] [--trace-out PATH] "
-                 "[--trace-jsonl PATH] [--trace-sample-rate R]\n",
+                 "[--trace-jsonl PATH] [--trace-sample-rate R] "
+                 "[--profile-out PATH] [--profile-in PATH]\n",
                  argv0);
     std::exit(2);
+}
+
+[[noreturn]] void
+flag_error(const char *flag, const char *expect, const char *got)
+{
+    std::fprintf(stderr, "pmill_run: %s expects %s, got '%s'\n", flag,
+                 expect, got);
+    std::exit(2);
+}
+
+/**
+ * Parse @p s as a double in [@p lo, @p hi] for @p flag; the whole
+ * string must be numeric. @p lo_exclusive makes the lower bound
+ * strict (e.g.\ rates in (0, 1]).
+ */
+double
+parse_double_arg(const char *flag, const char *s, double lo, double hi,
+                 const char *expect, bool lo_exclusive = false)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0')
+        flag_error(flag, expect, s);
+    if (v < lo || v > hi || (lo_exclusive && v <= lo))
+        flag_error(flag, expect, s);
+    return v;
+}
+
+/** Parse @p s as an unsigned integer in [@p lo, @p hi] for @p flag. */
+std::uint32_t
+parse_u32_arg(const char *flag, const char *s, std::uint32_t lo,
+              std::uint32_t hi, const char *expect)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0')
+        flag_error(flag, expect, s);
+    if (v < lo || v > hi)
+        flag_error(flag, expect, s);
+    return static_cast<std::uint32_t>(v);
 }
 
 bool
@@ -117,6 +169,7 @@ main(int argc, char **argv)
     bool do_verify = false, do_report = false, do_json = false;
     std::string stats_json_path, stats_csv_path;
     std::string trace_out_path, trace_jsonl_path;
+    std::string profile_out_path, profile_in_path;
     double trace_rate = 1.0;
 
     for (int i = 2; i < argc; ++i) {
@@ -140,25 +193,37 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (a == "--opt") {
-            if (!pick_opts(next(), &opts))
-                usage(argv[0]);
+            const char *v = next();
+            if (!pick_opts(v, &opts))
+                flag_error("--opt",
+                           "vanilla|devirt|constants|static|all|"
+                           "packetmill|lto-reorder",
+                           v);
         } else if (a == "--model") {
             MetadataModel m;
-            if (!pick_model(next(), &m))
-                usage(argv[0]);
+            const char *v = next();
+            if (!pick_model(v, &m))
+                flag_error("--model", "copying|overlaying|xchange", v);
             opts.model = m;
         } else if (a == "--freq") {
-            freq = std::atof(next());
+            freq = parse_double_arg("--freq", next(), 0.0, 10.0,
+                                    "a frequency in (0, 10] GHz", true);
         } else if (a == "--offered") {
-            offered = std::atof(next());
+            offered = parse_double_arg("--offered", next(), 0.0, 1000.0,
+                                       "a load in (0, 1000] Gbps", true);
         } else if (a == "--cores") {
-            cores = static_cast<std::uint32_t>(std::atoi(next()));
+            cores = parse_u32_arg("--cores", next(), 1, 64,
+                                  "a core count in [1, 64]");
         } else if (a == "--nics") {
-            nics = static_cast<std::uint32_t>(std::atoi(next()));
+            nics = parse_u32_arg("--nics", next(), 1, 8,
+                                 "a NIC count in [1, 8]");
         } else if (a == "--size") {
-            fixed_size = static_cast<std::uint32_t>(std::atoi(next()));
+            fixed_size = parse_u32_arg("--size", next(), 60, 1514,
+                                       "a frame size in [60, 1514] bytes");
         } else if (a == "--duration") {
-            duration_us = std::atof(next());
+            duration_us =
+                parse_double_arg("--duration", next(), 0.0, 1e9,
+                                 "a duration in (0, 1e9] us", true);
         } else if (a == "--verify") {
             do_verify = true;
         } else if (a == "--report") {
@@ -170,13 +235,21 @@ main(int argc, char **argv)
         } else if (a == "--stats-csv") {
             stats_csv_path = next();
         } else if (a == "--sample-interval-us") {
-            sample_us = std::atof(next());
+            sample_us = parse_double_arg(
+                "--sample-interval-us", next(), 0.0, 1e9,
+                "a period in [0, 1e9] us (0 disables sampling)");
         } else if (a == "--trace-out") {
             trace_out_path = next();
         } else if (a == "--trace-jsonl") {
             trace_jsonl_path = next();
         } else if (a == "--trace-sample-rate") {
-            trace_rate = std::atof(next());
+            trace_rate = parse_double_arg("--trace-sample-rate", next(),
+                                          0.0, 1.0,
+                                          "a fraction in (0, 1]", true);
+        } else if (a == "--profile-out") {
+            profile_out_path = next();
+        } else if (a == "--profile-in") {
+            profile_in_path = next();
         } else {
             usage(argv[0]);
         }
@@ -203,8 +276,28 @@ main(int argc, char **argv)
     machine.num_cores = cores;
     machine.num_nics = nics;
 
+    // Profile-guided grind: load the capture artifact and fold the
+    // plan's build-time decisions (burst, model, state placement) into
+    // the options before the engine is built; the in-place decisions
+    // are applied by the guided grind below.
+    Profile profile;
+    const bool guided = !profile_in_path.empty();
+    const PipelineOpts base_opts = opts;
+    if (guided) {
+        std::string perr;
+        if (!Profile::load(profile_in_path, &profile, &perr)) {
+            std::fprintf(stderr, "pmill_run: %s\n", perr.c_str());
+            return 1;
+        }
+        const Plan plan = PlanSearch::search(profile, opts);
+        opts = plan.apply_to_opts(opts);
+        if (!do_json)
+            std::printf("%s", plan.to_string().c_str());
+    }
+
     Engine engine(machine, config, opts, trace);
-    MillReport mill_report = PacketMill::grind(engine);
+    MillReport mill_report = guided ? PacketMill::grind(engine, &profile)
+                                    : PacketMill::grind(engine);
     if (do_report)
         std::printf("%s\n", mill_report.to_string().c_str());
 
@@ -215,6 +308,8 @@ main(int argc, char **argv)
         tc.sample_rate = trace_rate;
         engine.enable_tracing(tc);
     }
+    if (!profile_out_path.empty())
+        engine.set_profile_capture(true);
 
     RunConfig rc;
     rc.offered_gbps = offered;
@@ -222,6 +317,18 @@ main(int argc, char **argv)
     rc.duration_us = duration_us;
     rc.sample_interval_us = sample_us;
     RunResult r = engine.run(rc);
+
+    if (!profile_out_path.empty()) {
+        const Profile captured = build_profile(engine, r);
+        std::string perr;
+        if (!captured.save(profile_out_path, &perr)) {
+            std::fprintf(stderr, "pmill_run: %s\n", perr.c_str());
+            return 1;
+        }
+        if (!do_json)
+            std::printf("profile written to %s\n",
+                        profile_out_path.c_str());
+    }
 
     TailAttribution tail;
     if (tracing) {
@@ -385,6 +492,14 @@ main(int argc, char **argv)
     }
 
     if (do_verify) {
+        if (guided) {
+            std::printf("\nverifying the profile-guided plan against "
+                        "the unguided build...\n");
+            EquivalenceReport vr =
+                verify_plan(config, base_opts, profile, trace, 600.0);
+            std::printf("%s\n", vr.to_string().c_str());
+            return vr.equivalent ? 0 : 1;
+        }
         std::printf("\nverifying against the vanilla build...\n");
         EquivalenceReport vr = verify_equivalence(config, opts_vanilla(),
                                                   opts, trace, 600.0);

@@ -192,6 +192,23 @@ Classifier::specialize_match_order()
                      });
 }
 
+bool
+Classifier::apply_rule_order(const std::vector<std::uint32_t> &order)
+{
+    // Accept only a full permutation of the pattern indices; anything
+    // else could silently drop patterns from the match order.
+    if (order.size() != patterns_.size())
+        return false;
+    std::vector<bool> seen(patterns_.size(), false);
+    for (std::uint32_t idx : order) {
+        if (idx >= patterns_.size() || seen[idx])
+            return false;
+        seen[idx] = true;
+    }
+    order_ = order;
+    return true;
+}
+
 void
 Classifier::process(PacketBatch &batch, ExecContext &ctx)
 {

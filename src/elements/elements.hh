@@ -117,6 +117,12 @@ class Classifier : public Element {
     {
         return order_;
     }
+
+    // Generic rule hooks (mill::PlanSearch drives these).
+    std::size_t num_rules() const override { return patterns_.size(); }
+    std::vector<std::uint64_t> rule_hits() const override { return hits_; }
+    void reset_rule_hits() override { reset_hits(); }
+    bool apply_rule_order(const std::vector<std::uint32_t> &order) override;
     /// @}
 
   private:
@@ -183,10 +189,37 @@ class IPLookup : public Element {
     void access_profile(std::vector<Field> &reads,
                         std::vector<Field> &writes) const override;
 
+    /// @name Profile-guided rule hooks.
+    ///
+    /// DIR-24-8 lookup cost does not depend on rule insertion order,
+    /// so "reordering" LPM rules means promoting the hottest route to
+    /// a register-resident fast path (a prefix compare before the
+    /// table access — the table-flattening trick surveyed in the data
+    /// plane optimization literature). The promotion is only applied
+    /// when no more-specific configured route overlaps the candidate,
+    /// which makes the fast path exact.
+    /// @{
+    std::size_t num_rules() const override { return routes_.size(); }
+    std::vector<std::uint64_t> rule_hits() const override { return hits_; }
+    void reset_rule_hits() override;
+    bool apply_rule_order(const std::vector<std::uint32_t> &order) override;
+    void set_rule_profiling(bool on) override { profiling_ = on; }
+
+    /** Promoted hot-route index, or -1 when none. */
+    int hot_route() const { return hot_route_; }
+
+    /** True when promoting @p idx keeps lookups exact (no overlap by
+     * a more-specific configured route). */
+    bool hot_route_safe(std::size_t idx) const;
+    /// @}
+
   private:
     std::vector<Route> routes_;
+    std::vector<std::uint64_t> hits_;  ///< per-route match counts
     std::unique_ptr<Dir24_8> table_;
     std::uint32_t max_port_ = 0;
+    bool profiling_ = false;  ///< count per-route hits (capture mode)
+    int hot_route_ = -1;      ///< fast-path route, -1 = table only
 };
 
 /**

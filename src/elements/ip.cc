@@ -115,6 +115,62 @@ IPLookup::configure(const std::vector<std::string> &args, std::string *err)
             *err = "IPLookup needs at least one route";
         return false;
     }
+    hits_.assign(routes_.size(), 0);
+    hot_route_ = -1;
+    return true;
+}
+
+void
+IPLookup::reset_rule_hits()
+{
+    hits_.assign(routes_.size(), 0);
+}
+
+namespace {
+
+constexpr std::uint32_t
+prefix_mask(std::uint8_t len)
+{
+    return len == 0 ? 0 : ~0u << (32 - len);
+}
+
+} // namespace
+
+bool
+IPLookup::hot_route_safe(std::size_t idx) const
+{
+    if (idx >= routes_.size())
+        return false;
+    const Route &hr = routes_[idx];
+    const std::uint32_t hm = prefix_mask(hr.prefix_len);
+    for (std::size_t i = 0; i < routes_.size(); ++i) {
+        if (i == idx)
+            continue;
+        const Route &r = routes_[i];
+        // A more-specific overlapping route could win LPM for some
+        // addresses inside the candidate's prefix; a same-length
+        // duplicate prefix later in the list overrides the candidate.
+        const bool overlaps =
+            (r.prefix.value & hm) == (hr.prefix.value & hm);
+        if (overlaps &&
+            (r.prefix_len > hr.prefix_len ||
+             (r.prefix_len == hr.prefix_len && i > idx)))
+            return false;
+    }
+    return true;
+}
+
+bool
+IPLookup::apply_rule_order(const std::vector<std::uint32_t> &order)
+{
+    // The table's lookup cost is order-independent; honouring a
+    // hot-first order means promoting its first rule to the exact
+    // register-compare fast path — but only when that is sound.
+    if (order.empty() || order[0] >= routes_.size())
+        return false;
+    if (!hot_route_safe(order[0]))
+        return false;
+    hot_route_ = static_cast<int>(order[0]);
     return true;
 }
 
@@ -145,8 +201,41 @@ IPLookup::process(PacketBatch &batch, ExecContext &ctx)
 
         ctx.load(h.data_addr + l3 + 16, 4);  // destination address
         const auto *ip = reinterpret_cast<const Ipv4Header *>(h.data + l3);
-        auto nh = table_->lookup(ip->dst(), &ctx);
-        ctx.on_compute(5, 12);
+        const Ipv4Addr dst = ip->dst();
+
+        std::optional<std::uint16_t> nh;
+        if (hot_route_ >= 0) {
+            // Promoted hot route: prefix compare in registers before
+            // touching the table; exact by the safety check at
+            // promotion time.
+            const Route &hr = routes_[static_cast<std::size_t>(hot_route_)];
+            const std::uint32_t hm = prefix_mask(hr.prefix_len);
+            ctx.on_compute(1, 2);
+            if ((dst.value & hm) == (hr.prefix.value & hm)) {
+                nh = hr.next_hop;
+                if (profiling_)
+                    ++hits_[static_cast<std::size_t>(hot_route_)];
+                ctx.on_compute(4, 10);
+            }
+        }
+        if (!nh) {
+            std::uint8_t depth = 0;
+            nh = table_->lookup(dst, &ctx, profiling_ ? &depth : nullptr);
+            ctx.on_compute(5, 12);
+            if (profiling_ && nh) {
+                // Join the winning entry back to its configured rule:
+                // the last route of the matched depth covering dst is
+                // the one the table installed.
+                for (std::size_t r = routes_.size(); r-- > 0;) {
+                    const std::uint32_t m = prefix_mask(routes_[r].prefix_len);
+                    if (routes_[r].prefix_len == depth &&
+                        (dst.value & m) == (routes_[r].prefix.value & m)) {
+                        ++hits_[r];
+                        break;
+                    }
+                }
+            }
+        }
         if (!nh) {
             h.dropped = true;
             continue;

@@ -83,6 +83,42 @@ class Element {
     access_profile(std::vector<Field> &, std::vector<Field> &) const
     {}
 
+    /// @name Profile-guided rule hooks (consumed by mill::PlanSearch).
+    ///
+    /// Elements that try an ordered internal rule list per packet
+    /// (classifier patterns, route tables) expose measured per-rule
+    /// match counts and accept a semantics-preserving hot-first
+    /// reorder of the *match order* — the paper's §5 FAQ extension
+    /// ("PacketMill can be extended to exploit profiles").
+    /// @{
+
+    /** Number of reorderable rules; 0 when the element has none. */
+    virtual std::size_t num_rules() const { return 0; }
+
+    /** Measured per-rule match counts, indexed by rule. */
+    virtual std::vector<std::uint64_t> rule_hits() const { return {}; }
+
+    /** Zero the per-rule match counters. */
+    virtual void reset_rule_hits() {}
+
+    /**
+     * Apply a hot-first match order (@p order is a permutation of
+     * [0, num_rules()), first tried first). The element must refuse
+     * any order it cannot honour without changing semantics.
+     * @return true when the order took effect.
+     */
+    virtual bool apply_rule_order(const std::vector<std::uint32_t> &)
+    {
+        return false;
+    }
+
+    /**
+     * Enable per-rule hit accounting where it costs extra work in the
+     * hot path (elements with free counters may ignore this).
+     */
+    virtual void set_rule_profiling(bool) {}
+    /// @}
+
     /** Assign the simulated state allocation. */
     void set_state(const MemHandle &h) { state_ = h; }
     const MemHandle &state() const { return state_; }

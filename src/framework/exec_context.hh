@@ -14,6 +14,8 @@
 #define PMILL_FRAMEWORK_EXEC_CONTEXT_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/common/types.hh"
 #include "src/mem/access_sink.hh"
@@ -43,6 +45,11 @@ struct PipelineOpts {
     bool lto = false;            ///< link-time optimization
     bool reorder = false;        ///< metadata field reordering pass
     std::uint32_t burst = 32;    ///< RX burst size
+    /// Hot-first element placement order for the static arena
+    /// (instance names; empty = configuration order). Produced by
+    /// mill::PlanSearch so the hottest elements' state packs
+    /// contiguously at the front of the arena.
+    std::vector<std::string> state_order;
 
     /// @name Framework-personality knobs (§4.6 comparisons).
     /// @{

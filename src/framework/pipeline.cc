@@ -66,7 +66,28 @@ Pipeline::build(const std::string &config_text, SimMemory &mem,
     // State placement: the static graph packs all element state
     // contiguously (a .data-segment arena); the dynamic graph leaves
     // each element wherever config-time heap allocation scattered it.
-    for (auto &inst : p->instances_) {
+    // A profile-guided opts.state_order places the named (hot)
+    // elements first so their state shares the front arena lines.
+    std::vector<std::size_t> placement;
+    placement.reserve(p->instances_.size());
+    if (opts.static_graph && !opts.state_order.empty()) {
+        std::vector<bool> placed(p->instances_.size(), false);
+        for (const auto &nm : opts.state_order) {
+            const int i = p->parsed_.find(nm);
+            if (i >= 0 && !placed[static_cast<std::size_t>(i)]) {
+                placement.push_back(static_cast<std::size_t>(i));
+                placed[static_cast<std::size_t>(i)] = true;
+            }
+        }
+        for (std::size_t i = 0; i < p->instances_.size(); ++i)
+            if (!placed[i])
+                placement.push_back(i);
+    } else {
+        for (std::size_t i = 0; i < p->instances_.size(); ++i)
+            placement.push_back(i);
+    }
+    for (std::size_t i : placement) {
+        Element *inst = p->instances_[i].get();
         const std::uint32_t sz = std::max(inst->state_bytes(), 64u);
         MemHandle h =
             opts.static_graph
@@ -110,6 +131,16 @@ void
 Pipeline::reset_element_stats()
 {
     elem_stats_.assign(instances_.size(), ElementStats{});
+}
+
+void
+Pipeline::set_rule_profiling(bool on)
+{
+    for (auto &inst : instances_) {
+        inst->set_rule_profiling(on);
+        if (on)
+            inst->reset_rule_hits();
+    }
 }
 
 void

@@ -101,6 +101,14 @@ class Pipeline {
     void reset_element_stats();
 
     /**
+     * Toggle per-rule hit counting on every element that exposes
+     * rules (Classifier patterns, IPLookup routes). Profiling costs
+     * nothing in the simulated machine but is off by default so
+     * ordinary runs don't accumulate stale counts.
+     */
+    void set_rule_profiling(bool on);
+
+    /**
      * Attach the engine's tracer (nullptr detaches). Interns one span
      * per element so record sites stay integer-only.
      */

@@ -31,23 +31,39 @@ in_anno_area(Field f)
 } // namespace
 
 FieldUsage
-scan_field_references(const Pipeline &pipeline)
+scan_field_references(const Pipeline &pipeline, const Profile *profile)
 {
     FieldUsage usage;
+
+    // Static scan: every element (and the conversions) weigh 1.
+    // Profile-weighted scan: an element's references weigh its
+    // measured packet count, so a field only touched off the hot path
+    // (e.g.\ by the ARP branch) sinks in the hot-first order.
+    std::uint64_t conv_weight = 1;
+    if (profile) {
+        for (const ProfileElement &pe : profile->elements)
+            conv_weight = std::max(conv_weight, pe.packets);
+    }
+
     // Datapath conversions run once per packet.
     for (Field f : kRxWrites)
-        ++usage.writes[static_cast<std::size_t>(f)];
+        usage.writes[static_cast<std::size_t>(f)] += conv_weight;
     for (Field f : kTxReads)
-        ++usage.reads[static_cast<std::size_t>(f)];
+        usage.reads[static_cast<std::size_t>(f)] += conv_weight;
 
     // Element references (each element's declared per-packet profile).
     for (const Element *e : pipeline.elements()) {
+        std::uint64_t w = 1;
+        if (profile) {
+            const ProfileElement *pe = profile->find(e->name());
+            w = pe ? std::max<std::uint64_t>(pe->packets, 1) : 1;
+        }
         std::vector<Field> reads, writes;
         e->access_profile(reads, writes);
         for (Field f : reads)
-            ++usage.reads[static_cast<std::size_t>(f)];
+            usage.reads[static_cast<std::size_t>(f)] += w;
         for (Field f : writes)
-            ++usage.writes[static_cast<std::size_t>(f)];
+            usage.writes[static_cast<std::size_t>(f)] += w;
     }
     return usage;
 }
@@ -113,7 +129,8 @@ rx_written_fields()
 }
 
 MillReport
-analyze_impl(Pipeline &pipeline, bool apply_reorder)
+analyze_impl(Pipeline &pipeline, bool apply_reorder,
+             const Profile *profile = nullptr)
 {
     MillReport r;
     r.num_elements =
@@ -125,7 +142,7 @@ analyze_impl(Pipeline &pipeline, bool apply_reorder)
     r.static_graph = o.static_graph;
     r.lto = o.lto;
 
-    const FieldUsage usage = scan_field_references(pipeline);
+    const FieldUsage usage = scan_field_references(pipeline, profile);
     r.hot_order = hot_field_order(usage);
     r.layout_lines_before =
         pipeline.layout().lines_spanned(rx_written_fields());
@@ -150,19 +167,31 @@ PacketMill::analyze(Pipeline &pipeline, bool apply_reorder)
 }
 
 MillReport
-PacketMill::grind(Engine &engine)
+PacketMill::grind(Engine &engine, const Profile *profile)
 {
     MillReport report;
+    Plan plan;
+    if (profile)
+        plan = PlanSearch::search(*profile, engine.pipeline(0).opts());
+
     // Core 0's pipeline is representative; apply to every core.
-    for (std::uint32_t c = 0;; ++c) {
-        Pipeline *p;
-        // Engine exposes pipelines by index; stop at the core count.
-        // (Engine::pipeline asserts in-range, so probe via caches().)
-        p = &engine.pipeline(c);
+    std::uint32_t rules_reordered = 0;
+    for (std::uint32_t c = 0; c < engine.num_cores(); ++c) {
+        Pipeline *p = &engine.pipeline(c);
         const bool reorder = p->opts().reorder;
-        report = analyze_impl(*p, reorder);
-        if (c + 1 >= engine.num_cores())
-            break;
+        report = analyze_impl(*p, reorder, profile);
+        // The plan's in-place decisions: measured-hot-first rule
+        // orders per element instance.
+        for (const auto &[name, order] : plan.rule_orders) {
+            Element *e = p->find(name);
+            if (e != nullptr && e->apply_rule_order(order))
+                ++rules_reordered;
+        }
+    }
+    if (profile) {
+        report.profile_guided = true;
+        report.rules_reordered = rules_reordered;
+        report.plan = std::move(plan);
     }
     return report;
 }
@@ -211,6 +240,12 @@ MillReport::to_string() const
         s += ' ';
     }
     s += "...\n";
+    if (profile_guided) {
+        s += strprintf("  profile-guided:    yes (%u rule order(s) "
+                       "applied)\n",
+                       rules_reordered);
+        s += plan.to_string();
+    }
     return s;
 }
 

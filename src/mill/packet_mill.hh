@@ -31,6 +31,7 @@
 
 #include "src/framework/metadata.hh"
 #include "src/framework/pipeline.hh"
+#include "src/mill/profile.hh"
 
 namespace pmill {
 
@@ -62,6 +63,13 @@ struct MillReport {
     std::uint32_t layout_lines_after = 0;
     std::vector<Field> hot_order;  ///< chosen field order (hot first)
 
+    /// @name Profile-guided grind (set when a Profile was supplied).
+    /// @{
+    bool profile_guided = false;
+    std::uint32_t rules_reordered = 0;  ///< elements with a new order
+    Plan plan;  ///< the searched plan (incl.\ build-time decisions)
+    /// @}
+
     std::string to_string() const;
 };
 
@@ -70,8 +78,14 @@ struct MillReport {
  * the datapath conversion writes for references to metadata fields —
  * the stand-in for the paper's LLVM pass scanning GEPI references in
  * the whole-program bitcode.
+ *
+ * With a @p profile, each element's references are weighted by its
+ * measured packet count (and the conversion paths by the hottest
+ * element's), so fields touched on the measured-hot path outrank
+ * fields the static scan alone would tie.
  */
-FieldUsage scan_field_references(const Pipeline &pipeline);
+FieldUsage scan_field_references(const Pipeline &pipeline,
+                                 const Profile *profile = nullptr);
 
 /** Hot-first field ordering from a usage scan (stable for ties). */
 std::vector<Field> hot_field_order(const FieldUsage &usage);
@@ -91,8 +105,17 @@ class PacketMill {
      * Apply the IR-level passes to every core pipeline of @p engine
      * (the source-level passes were applied at build time through
      * PipelineOpts) and return the build report.
+     *
+     * With a @p profile from a capture run, the grind additionally
+     * consumes a PlanSearch plan: measured-hot-first rule orders are
+     * applied in place and the field-reordering scan is weighted by
+     * measured element heat. The plan's build-time decisions (burst,
+     * metadata model, state placement) are returned in the report's
+     * plan for the caller to fold into the next engine build via
+     * Plan::apply_to_opts.
      */
-    static MillReport grind(Engine &engine);
+    static MillReport grind(Engine &engine,
+                            const Profile *profile = nullptr);
 
     /** Report-only variant for a single pipeline. */
     static MillReport analyze(Pipeline &pipeline, bool apply_reorder);

@@ -1,6 +1,7 @@
 #include "src/mill/verify.hh"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -17,12 +18,16 @@ using FrameBag = std::map<std::vector<std::uint8_t>, std::uint64_t>;
 
 FrameBag
 collect(const std::string &config, const PipelineOpts &opts,
-        const Trace &trace, double duration_us, std::uint64_t *count)
+        const Trace &trace, double duration_us, std::uint64_t *count,
+        const std::function<void(Engine &)> &grind = {})
 {
     MachineConfig machine;
     machine.freq_ghz = 3.0;  // fast DUT: neither build should drop
     Engine engine(machine, config, opts, trace);
-    PacketMill::grind(engine);
+    if (grind)
+        grind(engine);
+    else
+        PacketMill::grind(engine);
 
     FrameBag bag;
     std::uint64_t n = 0;
@@ -44,26 +49,10 @@ collect(const std::string &config, const PipelineOpts &opts,
     return bag;
 }
 
-} // namespace
-
-EquivalenceReport
-verify_equivalence(const std::string &config, const PipelineOpts &opts_a,
-                   const PipelineOpts &opts_b, const Trace &trace,
-                   double duration_us)
+/** Fill @p r from the two collected bags (counts already set). */
+void
+compare_bags(const FrameBag &a, const FrameBag &b, EquivalenceReport *r)
 {
-    return verify_equivalence(config, opts_a, config, opts_b, trace,
-                              duration_us);
-}
-
-EquivalenceReport
-verify_equivalence(const std::string &config_a, const PipelineOpts &opts_a,
-                   const std::string &config_b, const PipelineOpts &opts_b,
-                   const Trace &trace, double duration_us)
-{
-    EquivalenceReport r;
-    FrameBag a = collect(config_a, opts_a, trace, duration_us, &r.frames_a);
-    FrameBag b = collect(config_b, opts_b, trace, duration_us, &r.frames_b);
-
     std::uint64_t mismatches = 0;
     std::string first;
     for (const auto &[bytes, cnt] : a) {
@@ -91,12 +80,55 @@ verify_equivalence(const std::string &config_a, const PipelineOpts &opts_a,
         }
     }
 
-    r.mismatches = mismatches;
-    r.equivalent = mismatches == 0 && r.frames_a > 0 && r.frames_b > 0;
-    r.detail = r.equivalent
-                   ? strprintf("%llu frames compared, all equal",
-                               static_cast<unsigned long long>(r.frames_a))
-                   : first;
+    r->mismatches = mismatches;
+    r->equivalent = mismatches == 0 && r->frames_a > 0 && r->frames_b > 0;
+    r->detail =
+        r->equivalent
+            ? strprintf("%llu frames compared, all equal",
+                        static_cast<unsigned long long>(r->frames_a))
+            : first;
+}
+
+} // namespace
+
+EquivalenceReport
+verify_equivalence(const std::string &config, const PipelineOpts &opts_a,
+                   const PipelineOpts &opts_b, const Trace &trace,
+                   double duration_us)
+{
+    return verify_equivalence(config, opts_a, config, opts_b, trace,
+                              duration_us);
+}
+
+EquivalenceReport
+verify_equivalence(const std::string &config_a, const PipelineOpts &opts_a,
+                   const std::string &config_b, const PipelineOpts &opts_b,
+                   const Trace &trace, double duration_us)
+{
+    EquivalenceReport r;
+    FrameBag a = collect(config_a, opts_a, trace, duration_us, &r.frames_a);
+    FrameBag b = collect(config_b, opts_b, trace, duration_us, &r.frames_b);
+    compare_bags(a, b, &r);
+    return r;
+}
+
+EquivalenceReport
+verify_plan(const std::string &config, const PipelineOpts &base_opts,
+            const Profile &profile, const Trace &trace, double duration_us)
+{
+    EquivalenceReport r;
+    // Reference: the configuration ground by the default static mill.
+    FrameBag a = collect(config, base_opts, trace, duration_us,
+                         &r.frames_a);
+    // Candidate: the plan fully applied — build-time decisions folded
+    // into the options, in-place decisions via the guided grind.
+    const Plan plan = PlanSearch::search(profile, base_opts);
+    const PipelineOpts plan_opts = plan.apply_to_opts(base_opts);
+    FrameBag b = collect(config, plan_opts, trace, duration_us,
+                         &r.frames_b, [&](Engine &engine) {
+                             PacketMill::grind(engine, &profile);
+                         });
+    compare_bags(a, b, &r);
     return r;
 }
 

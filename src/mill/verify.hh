@@ -21,6 +21,7 @@
 #include <string>
 
 #include "src/framework/exec_context.hh"
+#include "src/mill/profile.hh"
 #include "src/trace/trace.hh"
 
 namespace pmill {
@@ -57,6 +58,20 @@ EquivalenceReport verify_equivalence(const std::string &config_a,
                                      const PipelineOpts &opts_b,
                                      const Trace &trace,
                                      double duration_us);
+
+/**
+ * Check that a profile-guided plan is semantics-preserving: replay
+ * @p trace through @p config built with @p base_opts and ground by
+ * the default (static) mill, and through the same configuration with
+ * @p profile's searched plan fully applied — build-time decisions
+ * folded into the options, in-place decisions applied by the
+ * profile-guided grind — then compare the emitted frame multisets
+ * byte-for-byte.
+ */
+EquivalenceReport verify_plan(const std::string &config,
+                              const PipelineOpts &base_opts,
+                              const Profile &profile, const Trace &trace,
+                              double duration_us = 800.0);
 
 } // namespace pmill
 

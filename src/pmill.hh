@@ -29,6 +29,7 @@
 #include "src/mem/cache.hh"
 #include "src/mem/sim_memory.hh"
 #include "src/mill/packet_mill.hh"
+#include "src/mill/profile.hh"
 #include "src/mill/source_gen.hh"
 #include "src/mill/verify.hh"
 #include "src/net/checksum.hh"

@@ -249,6 +249,15 @@ Engine::enable_tracing(const TracerConfig &cfg)
             tracer_->intern(strprintf("nic%zu", n)));
 }
 
+void
+Engine::set_profile_capture(bool on)
+{
+    if (on && !tracer_)
+        enable_tracing();
+    for (auto &core : cores_)
+        core->pipe->set_rule_profiling(on);
+}
+
 TailAttribution
 Engine::tail_attribution(double threshold_us) const
 {

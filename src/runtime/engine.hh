@@ -161,6 +161,17 @@ class Engine {
     Tracer *tracer() { return tracer_.get(); }
     const Tracer *tracer() const { return tracer_.get(); }
 
+    /**
+     * Profile-capture mode: tracing on (created at defaults when
+     * never enabled) plus per-rule hit counting in every element that
+     * exposes rules. A subsequent run() leaves everything
+     * build_profile() distills from.
+     */
+    void set_profile_capture(bool on);
+
+    /** DUT core frequency (GHz). */
+    double freq_ghz() const { return machine_.freq_ghz; }
+
     /** p99 latency (us) of the most recent run. */
     double last_p99_us() const { return last_p99_us_; }
 

@@ -126,7 +126,8 @@ Dir24_8::add(const Route &r)
 }
 
 std::optional<std::uint16_t>
-Dir24_8::lookup(Ipv4Addr a, AccessSink *sink) const
+Dir24_8::lookup(Ipv4Addr a, AccessSink *sink,
+                std::uint8_t *matched_depth) const
 {
     const std::uint32_t slot24 = a.value >> 8;
     sink_load(sink, tbl24_.addr + std::uint64_t(slot24) * sizeof(Entry),
@@ -134,8 +135,11 @@ Dir24_8::lookup(Ipv4Addr a, AccessSink *sink) const
     const Entry &e = tbl24()[slot24];
     if (!(e.flags & kValid))
         return std::nullopt;
-    if (!(e.flags & kGroup))
+    if (!(e.flags & kGroup)) {
+        if (matched_depth)
+            *matched_depth = e.depth;
         return e.next_hop;
+    }
 
     const std::uint64_t idx =
         std::uint64_t(e.next_hop) * 256 + (a.value & 0xFF);
@@ -143,6 +147,8 @@ Dir24_8::lookup(Ipv4Addr a, AccessSink *sink) const
     const Entry &e8 = tbl8()[idx];
     if (!(e8.flags & kValid))
         return std::nullopt;
+    if (matched_depth)
+        *matched_depth = e8.depth;
     return e8.next_hop;
 }
 

@@ -65,10 +65,14 @@ class Dir24_8 {
 
     /**
      * Longest-prefix lookup, reporting 1 or 2 table accesses to
-     * @p sink. @return next hop, or nullopt when no route matches.
+     * @p sink. When @p matched_depth is non-null it receives the
+     * prefix length of the winning route (profile capture joins it
+     * back to the configured rule). @return next hop, or nullopt when
+     * no route matches.
      */
-    std::optional<std::uint16_t> lookup(Ipv4Addr a,
-                                        AccessSink *sink = nullptr) const;
+    std::optional<std::uint16_t>
+    lookup(Ipv4Addr a, AccessSink *sink = nullptr,
+           std::uint8_t *matched_depth = nullptr) const;
 
     /** Bytes of simulated memory used by the tables. */
     std::uint64_t memory_bytes() const;
