@@ -186,10 +186,45 @@ Classifier::reset_hits()
 void
 Classifier::specialize_match_order()
 {
-    std::stable_sort(order_.begin(), order_.end(),
-                     [this](std::uint32_t a, std::uint32_t b) {
-                         return hits_[a] > hits_[b];
-                     });
+    // Hot-first under the same semantics constraint as
+    // apply_rule_order: a pattern may not jump ahead of an
+    // earlier-configured pattern it overlaps with. Repeatedly emit
+    // the most-hit pattern whose overlapping predecessors are all
+    // placed (ties break toward configuration order).
+    std::vector<std::uint32_t> out;
+    std::vector<bool> placed(patterns_.size(), false);
+    while (out.size() < patterns_.size()) {
+        std::uint32_t best = 0;
+        bool have_best = false;
+        for (std::uint32_t i = 0; i < patterns_.size(); ++i) {
+            if (placed[i])
+                continue;
+            bool ready = true;
+            for (std::uint32_t j = 0; j < i && ready; ++j)
+                if (!placed[j] &&
+                    patterns_overlap(patterns_[j], patterns_[i]))
+                    ready = false;
+            if (!ready)
+                continue;
+            if (!have_best || hits_[i] > hits_[best]) {
+                best = i;
+                have_best = true;
+            }
+        }
+        PMILL_ASSERT(have_best, "overlap constraint graph is acyclic");
+        placed[best] = true;
+        out.push_back(best);
+    }
+    order_ = out;
+}
+
+bool
+Classifier::patterns_overlap(Pattern a, Pattern b)
+{
+    // Some packet matches both patterns: '-' (kAny) overlaps every
+    // pattern, equal patterns overlap trivially, and kArp/kIp are
+    // disjoint EtherType tests.
+    return a == b || a == Pattern::kAny || b == Pattern::kAny;
 }
 
 bool
@@ -199,12 +234,25 @@ Classifier::apply_rule_order(const std::vector<std::uint32_t> &order)
     // else could silently drop patterns from the match order.
     if (order.size() != patterns_.size())
         return false;
+    std::vector<std::uint32_t> pos(patterns_.size(), 0);
     std::vector<bool> seen(patterns_.size(), false);
-    for (std::uint32_t idx : order) {
+    for (std::uint32_t r = 0; r < order.size(); ++r) {
+        const std::uint32_t idx = order[r];
         if (idx >= patterns_.size() || seen[idx])
             return false;
         seen[idx] = true;
+        pos[idx] = r;
     }
+    // First-match semantics: moving a pattern ahead of an
+    // earlier-configured pattern it overlaps with changes which
+    // pattern wins (and hence out_port), so such orders are refused —
+    // the catch-all in Classifier(ARP, -) must keep trying last even
+    // when it is the most-hit rule.
+    for (std::uint32_t i = 0; i < patterns_.size(); ++i)
+        for (std::uint32_t j = i + 1; j < patterns_.size(); ++j)
+            if (patterns_overlap(patterns_[i], patterns_[j]) &&
+                pos[i] > pos[j])
+                return false;
     order_ = order;
     return true;
 }

@@ -127,6 +127,10 @@ class Classifier : public Element {
 
   private:
     enum class Pattern { kArp, kIp, kAny };
+    /** True when some packet matches both patterns (kAny overlaps
+     * everything; kArp/kIp are disjoint). Reordering overlapping
+     * patterns changes which one wins under first-match semantics. */
+    static bool patterns_overlap(Pattern a, Pattern b);
     std::vector<Pattern> patterns_;
     std::vector<std::uint32_t> order_;  ///< match order (indices)
     std::vector<std::uint64_t> hits_;   ///< per-pattern hit counts

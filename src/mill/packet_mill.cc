@@ -174,23 +174,48 @@ PacketMill::grind(Engine &engine, const Profile *profile)
     if (profile)
         plan = PlanSearch::search(*profile, engine.pipeline(0).opts());
 
-    // Core 0's pipeline is representative; apply to every core.
-    std::uint32_t rules_reordered = 0;
+    // Core 0's pipeline is representative; apply to every core. An
+    // element may refuse an order it cannot honour without changing
+    // semantics (apply_rule_order's contract), so record each entry's
+    // fate — every core runs an identical pipeline, so core 0's
+    // verdict stands for all of them.
+    std::vector<bool> applied(plan.rule_orders.size(), false);
     for (std::uint32_t c = 0; c < engine.num_cores(); ++c) {
         Pipeline *p = &engine.pipeline(c);
         const bool reorder = p->opts().reorder;
         report = analyze_impl(*p, reorder, profile);
         // The plan's in-place decisions: measured-hot-first rule
         // orders per element instance.
-        for (const auto &[name, order] : plan.rule_orders) {
-            Element *e = p->find(name);
-            if (e != nullptr && e->apply_rule_order(order))
-                ++rules_reordered;
+        for (std::size_t i = 0; i < plan.rule_orders.size(); ++i) {
+            Element *e = p->find(plan.rule_orders[i].first);
+            const bool ok =
+                e != nullptr &&
+                e->apply_rule_order(plan.rule_orders[i].second);
+            if (c == 0)
+                applied[i] = ok;
         }
     }
     if (profile) {
+        // Keep the reported plan honest: drop refused orders from the
+        // decision list and mark their rationale lines, so the
+        // printout matches what actually took effect.
+        std::vector<std::pair<std::string, std::vector<std::uint32_t>>>
+            kept;
+        for (std::size_t i = 0; i < plan.rule_orders.size(); ++i) {
+            if (applied[i]) {
+                kept.push_back(std::move(plan.rule_orders[i]));
+                continue;
+            }
+            const std::string prefix =
+                plan.rule_orders[i].first + ": hot-first rule order";
+            for (std::string &r : plan.rationale)
+                if (r.compare(0, prefix.size(), prefix) == 0)
+                    r += " — refused at grind time, not applied";
+        }
+        plan.rule_orders = std::move(kept);
         report.profile_guided = true;
-        report.rules_reordered = rules_reordered;
+        report.rules_reordered =
+            static_cast<std::uint32_t>(plan.rule_orders.size());
         report.plan = std::move(plan);
     }
     return report;

@@ -1,6 +1,8 @@
 #include "src/mill/profile.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -31,48 +33,101 @@ join_u64(const std::vector<std::uint64_t> &v)
     return s;
 }
 
-std::vector<std::uint64_t>
-split_u64(const std::string &s)
+/// Strict whole-token parses: a corrupted or hand-edited artifact
+/// must fail the load, not silently parse as 0.
+bool
+parse_u64_token(const std::string &tok, std::uint64_t *out)
 {
-    std::vector<std::uint64_t> out;
+    if (tok.empty() || !std::isdigit(static_cast<unsigned char>(tok[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    *out = std::strtoull(tok.c_str(), &end, 10);
+    return end == tok.c_str() + tok.size() && errno == 0;
+}
+
+bool
+parse_double_token(const std::string &tok, double *out)
+{
+    if (tok.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    *out = std::strtod(tok.c_str(), &end);
+    return end == tok.c_str() + tok.size() && errno == 0;
+}
+
+bool
+split_u64(const std::string &s, std::vector<std::uint64_t> *out)
+{
+    out->clear();
     if (s.empty())
-        return out;
+        return true;
     std::size_t pos = 0;
     while (pos <= s.size()) {
         const std::size_t comma = s.find(',', pos);
         const std::string tok =
             s.substr(pos, comma == std::string::npos ? std::string::npos
                                                      : comma - pos);
-        out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+        std::uint64_t v = 0;
+        if (!parse_u64_token(tok, &v))
+            return false;
+        out->push_back(v);
         if (comma == std::string::npos)
             break;
         pos = comma + 1;
     }
-    return out;
+    return true;
 }
 
-double
-field_d(const std::map<std::string, std::string> &obj, const char *key)
-{
-    auto it = obj.find(key);
-    return it == obj.end() ? 0.0 : std::strtod(it->second.c_str(), nullptr);
-}
+/**
+ * Field accessors over one parsed JSON-Lines object. A missing key
+ * reads as the zero value (older artifacts may lack newer fields);
+ * a present-but-malformed value records the key in `bad` so the
+ * caller can fail the whole parse.
+ */
+struct Fields {
+    const std::map<std::string, std::string> &obj;
+    std::string bad;  ///< first key with a malformed value; "" = ok
 
-std::uint64_t
-field_u(const std::map<std::string, std::string> &obj, const char *key)
-{
-    auto it = obj.find(key);
-    return it == obj.end()
-               ? 0
-               : std::strtoull(it->second.c_str(), nullptr, 10);
-}
+    std::string
+    s(const char *key) const
+    {
+        auto it = obj.find(key);
+        return it == obj.end() ? std::string() : it->second;
+    }
 
-std::string
-field_s(const std::map<std::string, std::string> &obj, const char *key)
-{
-    auto it = obj.find(key);
-    return it == obj.end() ? std::string() : it->second;
-}
+    double
+    d(const char *key)
+    {
+        auto it = obj.find(key);
+        double v = 0.0;
+        if (it != obj.end() && !parse_double_token(it->second, &v) &&
+            bad.empty())
+            bad = key;
+        return v;
+    }
+
+    std::uint64_t
+    u(const char *key)
+    {
+        auto it = obj.find(key);
+        std::uint64_t v = 0;
+        if (it != obj.end() && !parse_u64_token(it->second, &v) &&
+            bad.empty())
+            bad = key;
+        return v;
+    }
+
+    std::vector<std::uint64_t>
+    u64s(const char *key)
+    {
+        std::vector<std::uint64_t> v;
+        if (!split_u64(s(key), &v) && bad.empty())
+            bad = key;
+        return v;
+    }
+};
 
 /// Smallest power of two >= v (v >= 1).
 std::uint32_t
@@ -162,35 +217,43 @@ Profile::parse(const std::string &text, Profile *out, std::string *err)
                                  lineno);
             return false;
         }
-        const std::string type = field_s(obj, "type");
+        Fields f{obj, {}};
+        const std::string type = f.s("type");
         if (type == "profile_meta") {
-            out->freq_ghz = field_d(obj, "freq_ghz");
-            out->p99_latency_us = field_d(obj, "p99_latency_us");
-            out->throughput_gbps = field_d(obj, "throughput_gbps");
-            out->mpps = field_d(obj, "mpps");
-            out->stall_share = field_d(obj, "stall_share");
-            out->burst = static_cast<std::uint32_t>(field_u(obj, "burst"));
-            out->model = field_s(obj, "model");
-            out->dominant_element = field_s(obj, "dominant_element");
+            out->freq_ghz = f.d("freq_ghz");
+            out->p99_latency_us = f.d("p99_latency_us");
+            out->throughput_gbps = f.d("throughput_gbps");
+            out->mpps = f.d("mpps");
+            out->stall_share = f.d("stall_share");
+            out->burst = static_cast<std::uint32_t>(f.u("burst"));
+            out->model = f.s("model");
+            out->dominant_element = f.s("dominant_element");
             have_meta = true;
         } else if (type == "profile_element") {
             ProfileElement e;
-            e.name = field_s(obj, "name");
-            e.class_name = field_s(obj, "class");
-            e.packets = field_u(obj, "packets");
-            e.cycles = field_d(obj, "cycles");
-            e.mem_ns = field_d(obj, "mem_ns");
-            e.time_share = field_d(obj, "time_share");
-            e.stall_share = field_d(obj, "stall_share");
-            e.tail_excess_us = field_d(obj, "tail_excess_us");
-            e.rule_hits = split_u64(field_s(obj, "rule_hits"));
+            e.name = f.s("name");
+            e.class_name = f.s("class");
+            e.packets = f.u("packets");
+            e.cycles = f.d("cycles");
+            e.mem_ns = f.d("mem_ns");
+            e.time_share = f.d("time_share");
+            e.stall_share = f.d("stall_share");
+            e.tail_excess_us = f.d("tail_excess_us");
+            e.rule_hits = f.u64s("rule_hits");
             out->elements.push_back(std::move(e));
         } else if (type == "profile_burst_hist") {
-            out->burst_hist = split_u64(field_s(obj, "hist"));
+            out->burst_hist = f.u64s("hist");
         } else {
             if (err)
                 *err = strprintf("profile line %zu: unknown type '%s'",
                                  lineno, type.c_str());
+            return false;
+        }
+        if (!f.bad.empty()) {
+            if (err)
+                *err = strprintf(
+                    "profile line %zu: malformed value for '%s'", lineno,
+                    f.bad.c_str());
             return false;
         }
     }

@@ -134,6 +134,44 @@ TEST(ProfileJson, RejectsGarbage)
     EXPECT_FALSE(err.empty());
 }
 
+TEST(ProfileJson, RejectsMalformedNumbers)
+{
+    // A corrupted or hand-edited artifact must fail the load, not
+    // silently parse bad tokens as 0 and feed the search a bogus plan.
+    Profile p;
+    std::string err;
+    EXPECT_FALSE(Profile::parse(
+        "{\"type\":\"profile_meta\",\"freq_ghz\":2.x,\"burst\":32}\n",
+        &p, &err));
+    EXPECT_NE(err.find("freq_ghz"), std::string::npos) << err;
+
+    err.clear();
+    EXPECT_FALSE(Profile::parse(
+        "{\"type\":\"profile_meta\",\"freq_ghz\":2.3,\"burst\":-1}\n",
+        &p, &err));
+    EXPECT_NE(err.find("burst"), std::string::npos) << err;
+
+    err.clear();
+    EXPECT_FALSE(Profile::parse(
+        "{\"type\":\"profile_meta\",\"freq_ghz\":2.3,\"burst\":32}\n"
+        "{\"type\":\"profile_element\",\"name\":\"c\","
+        "\"rule_hits\":\"1,x,3\"}\n",
+        &p, &err));
+    EXPECT_NE(err.find("rule_hits"), std::string::npos) << err;
+
+    // The well-formed spelling of the same lines still parses.
+    err.clear();
+    EXPECT_TRUE(Profile::parse(
+        "{\"type\":\"profile_meta\",\"freq_ghz\":2.3,\"burst\":32}\n"
+        "{\"type\":\"profile_element\",\"name\":\"c\","
+        "\"rule_hits\":\"1,2,3\"}\n",
+        &p, &err))
+        << err;
+    ASSERT_NE(p.find("c"), nullptr);
+    EXPECT_EQ(p.find("c")->rule_hits,
+              (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
 TEST(PlanSearchPolicy, HotFirstRuleOrder)
 {
     Profile p = synthetic_profile();
@@ -265,6 +303,28 @@ TEST(RuleOrder, ClassifierRejectsInvalidPermutations)
     EXPECT_EQ(cls->match_order(), (std::vector<std::uint32_t>{1, 0}));
 }
 
+TEST(RuleOrder, ClassifierKeepsOverlappingPatternsInConfiguredOrder)
+{
+    // First-match semantics: '-' matches every packet ARP matches, so
+    // trying the catch-all first would steal ARP's packets and change
+    // their out_port. Such orders must be refused even though they
+    // are valid permutations.
+    Classifier cls;
+    std::string err;
+    ASSERT_TRUE(cls.configure({"ARP", "-"}, &err)) << err;
+    EXPECT_FALSE(cls.apply_rule_order({1, 0}));
+    EXPECT_EQ(cls.match_order(), (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_TRUE(cls.apply_rule_order({0, 1}));  // identity stays legal
+
+    // Disjoint patterns still reorder freely around the constraint.
+    Classifier cls3;
+    ASSERT_TRUE(cls3.configure({"ARP", "IP", "-"}, &err)) << err;
+    EXPECT_TRUE(cls3.apply_rule_order({1, 0, 2}));   // ARP/IP swap: safe
+    EXPECT_FALSE(cls3.apply_rule_order({2, 0, 1}));  // '-' first
+    EXPECT_FALSE(cls3.apply_rule_order({0, 2, 1}));  // '-' before IP
+    EXPECT_EQ(cls3.match_order(), (std::vector<std::uint32_t>{1, 0, 2}));
+}
+
 TEST(RuleOrder, IPLookupPromotesOnlySafeHotRoutes)
 {
     SimMemory mem;
@@ -307,6 +367,71 @@ TEST(GrindWithProfile, AppliesPlanInPlace)
     auto *cls = dynamic_cast<Classifier *>(engine.pipeline().find("class"));
     ASSERT_NE(cls, nullptr);
     EXPECT_EQ(cls->match_order(), (std::vector<std::uint32_t>{1, 0}));
+}
+
+TEST(GrindWithProfile, RefusedOrdersAreDroppedFromTheReportedPlan)
+{
+    // A catch-all classifier under mostly-IP traffic: the hot-first
+    // search wants '-' ahead of ARP, which Classifier must refuse at
+    // grind time. The reported plan has to reflect that refusal.
+    const std::string cfg =
+        "in :: FromDPDKDevice(PORT 0, BURST 32);\n"
+        "out :: ToDPDKDevice(PORT 0, BURST 32);\n"
+        "c :: Classifier(ARP, -);\n"
+        "in -> c;\n"
+        "c [0] -> Discard;\n"
+        "c [1] -> out;\n";
+
+    Profile profile;
+    profile.freq_ghz = 2.3;
+    profile.burst = 32;
+    profile.model = "Copying";
+    ProfileElement pe;
+    pe.name = "c";
+    pe.class_name = "Classifier";
+    pe.packets = 105;
+    pe.rule_hits = {5, 100};  // the catch-all dominates
+    profile.elements = {pe};
+
+    MachineConfig machine;
+    machine.freq_ghz = 2.3;
+    Engine engine(machine, cfg, opts_source_all(),
+                  default_campus_trace());
+    const MillReport rep = PacketMill::grind(engine, &profile);
+
+    EXPECT_TRUE(rep.profile_guided);
+    EXPECT_EQ(rep.rules_reordered, 0u);
+    EXPECT_TRUE(rep.plan.rule_orders.empty());
+    ASSERT_EQ(rep.plan.rationale.size(), 1u);
+    EXPECT_NE(rep.plan.rationale[0].find("refused at grind time"),
+              std::string::npos)
+        << rep.plan.rationale[0];
+
+    auto *cls = dynamic_cast<Classifier *>(engine.pipeline().find("c"));
+    ASSERT_NE(cls, nullptr);
+    EXPECT_EQ(cls->match_order(), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(GrindWithProfile, RuleCountIsPerElementNotPerCore)
+{
+    Profile profile = capture_router_profile();
+
+    auto grind_on = [&](std::uint32_t cores) {
+        MachineConfig machine;
+        machine.freq_ghz = 2.3;
+        machine.num_cores = cores;
+        Engine engine(machine, router_config(), opts_source_all(),
+                      default_campus_trace());
+        return PacketMill::grind(engine, &profile);
+    };
+    const MillReport one = grind_on(1);
+    const MillReport four = grind_on(4);
+    // "Elements with a new order" must not scale with the core count,
+    // and must agree with the surviving plan decisions.
+    EXPECT_EQ(one.rules_reordered, four.rules_reordered);
+    EXPECT_EQ(four.rules_reordered,
+              static_cast<std::uint32_t>(four.plan.rule_orders.size()));
+    EXPECT_GE(one.rules_reordered, 1u);
 }
 
 TEST(VerifyPlan, RouterPlanIsSemanticsPreserving)
