@@ -37,6 +37,19 @@
  *   --profile-in PATH   guided run: load a Profile, apply its
  *                       searched plan (rule orders, burst, model,
  *                       state placement) before/while grinding
+ *   --control POLICY    closed-loop control: hysteresis|aimd. The
+ *                       controller watches the sampled telemetry and
+ *                       retunes RX burst / poll backoff / queue
+ *                       weights mid-run, within validated limits
+ *                       (derived from the plan when --profile-in is
+ *                       given). Decisions are appended to the stats
+ *                       JSONL as {"type":"decision",...} lines.
+ *   --decision-log PATH write the decision log as JSON Lines
+ *                       (requires --control)
+ *   --load-step-us US   switch the offered load this long after
+ *                       measurement starts (0 = never) ...
+ *   --load-step-gbps G  ... to this rate (the adaptive-control
+ *                       experiment's load step)
  *
  * Every option also accepts the `--name=value` form. Numeric values
  * are validated strictly: a malformed or out-of-range value (e.g.\
@@ -72,7 +85,9 @@ usage(const char *argv0)
                  "[--json] [--stats-json PATH] [--stats-csv PATH] "
                  "[--sample-interval-us N] [--trace-out PATH] "
                  "[--trace-jsonl PATH] [--trace-sample-rate R] "
-                 "[--profile-out PATH] [--profile-in PATH]\n",
+                 "[--profile-out PATH] [--profile-in PATH] "
+                 "[--control hysteresis|aimd] [--decision-log PATH] "
+                 "[--load-step-us US] [--load-step-gbps GBPS]\n",
                  argv0);
     std::exit(2);
 }
@@ -170,6 +185,8 @@ main(int argc, char **argv)
     std::string stats_json_path, stats_csv_path;
     std::string trace_out_path, trace_jsonl_path;
     std::string profile_out_path, profile_in_path;
+    std::string control_policy, decision_log_path;
+    double load_step_us = 0.0, load_step_gbps = 0.0;
     double trace_rate = 1.0;
 
     for (int i = 2; i < argc; ++i) {
@@ -250,12 +267,52 @@ main(int argc, char **argv)
             profile_out_path = next();
         } else if (a == "--profile-in") {
             profile_in_path = next();
+        } else if (a == "--control") {
+            control_policy = next();
+            // Validate the name up front (the factory is the single
+            // source of truth for the known policies).
+            if (!make_policy(control_policy, ActuationLimits{},
+                             PolicyConfig{}))
+                flag_error("--control", "hysteresis|aimd",
+                           control_policy.c_str());
+        } else if (a == "--decision-log") {
+            decision_log_path = next();
+        } else if (a == "--load-step-us") {
+            load_step_us = parse_double_arg(
+                "--load-step-us", next(), 0.0, 1e9,
+                "a time in [0, 1e9] us (0 = no step)");
+        } else if (a == "--load-step-gbps") {
+            load_step_gbps = parse_double_arg(
+                "--load-step-gbps", next(), 0.0, 1000.0,
+                "a load in (0, 1000] Gbps", true);
         } else {
             usage(argv[0]);
         }
         if (has_inline &&
             (a == "--verify" || a == "--report" || a == "--json"))
             usage(argv[0]);
+    }
+
+    // Cross-flag validation: reject inconsistent combinations with a
+    // clean diagnostic instead of tripping an engine assertion.
+    if (cores > 1 && nics > 1) {
+        std::fprintf(stderr,
+                     "pmill_run: --cores %u with --nics %u is not a "
+                     "supported topology (multicore runs use a single "
+                     "NIC with RSS; multi-NIC runs use a single core)\n",
+                     cores, nics);
+        return 2;
+    }
+    if (!decision_log_path.empty() && control_policy.empty()) {
+        std::fprintf(stderr,
+                     "pmill_run: --decision-log requires --control\n");
+        return 2;
+    }
+    if ((load_step_us > 0) != (load_step_gbps > 0)) {
+        std::fprintf(stderr,
+                     "pmill_run: --load-step-us and --load-step-gbps "
+                     "must be given together\n");
+        return 2;
     }
 
     std::ifstream in(config_path);
@@ -283,6 +340,7 @@ main(int argc, char **argv)
     Profile profile;
     const bool guided = !profile_in_path.empty();
     const PipelineOpts base_opts = opts;
+    ActuationLimits limits;
     if (guided) {
         std::string perr;
         if (!Profile::load(profile_in_path, &profile, &perr)) {
@@ -290,12 +348,24 @@ main(int argc, char **argv)
             return 1;
         }
         const Plan plan = PlanSearch::search(profile, opts);
+        // The plan's searched burst bounds the controller's actuation
+        // range (applied below only when --control is given).
+        limits = ActuationLimits::from_plan(plan, opts);
         opts = plan.apply_to_opts(opts);
         if (!do_json)
             std::printf("%s", plan.to_string().c_str());
     }
 
     Engine engine(machine, config, opts, trace);
+
+    std::unique_ptr<Controller> controller;
+    if (!control_policy.empty()) {
+        ControlConfig cc;
+        cc.limits = limits;
+        controller = std::make_unique<Controller>(
+            make_policy(control_policy, cc.limits, cc.policy), cc);
+        engine.set_controller(controller.get());
+    }
     MillReport mill_report = guided ? PacketMill::grind(engine, &profile)
                                     : PacketMill::grind(engine);
     if (do_report)
@@ -316,7 +386,19 @@ main(int argc, char **argv)
     rc.warmup_us = 1000;
     rc.duration_us = duration_us;
     rc.sample_interval_us = sample_us;
+    rc.load_step_us = load_step_us;
+    rc.load_step_gbps = load_step_gbps;
     RunResult r = engine.run(rc);
+
+    if (!decision_log_path.empty()) {
+        std::ofstream out(decision_log_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         decision_log_path.c_str());
+            return 1;
+        }
+        controller->log().write_jsonl(out);
+    }
 
     if (!profile_out_path.empty()) {
         const Profile captured = build_profile(engine, r);
@@ -373,6 +455,8 @@ main(int argc, char **argv)
             << ",\"sample_interval_us\":" << json_number(sample_us)
             << "}\n";
         export_jsonl(engine.timeline(), out);
+        if (controller)
+            controller->log().write_jsonl(out);
         for (std::size_t i = 0; i < elems.size() && i < estats.size();
              ++i) {
             const ElementStats &es = estats[i];
@@ -459,6 +543,13 @@ main(int argc, char **argv)
     std::printf("llc:        %.0f kilo-loads, %.1f kilo-misses per "
                 "100 ms; IPC %.2f\n",
                 r.llc_kloads_per_100ms, r.llc_kmisses_per_100ms, r.ipc);
+    if (controller) {
+        std::printf("control:    %s policy, %zu decision(s)\n",
+                    controller->policy().name(),
+                    controller->log().size());
+        if (!controller->log().empty())
+            std::printf("%s", controller->log().to_string().c_str());
+    }
 
     if (!estats.empty()) {
         TablePrinter t;

@@ -1,0 +1,177 @@
+#include "src/control/controller.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+#include "src/telemetry/export.hh"
+
+namespace pmill {
+
+void
+DecisionLog::write_jsonl(std::ostream &os) const
+{
+    for (const Decision &d : decisions) {
+        os << "{\"type\":\"decision\",\"t_us\":" << json_number(d.t_us)
+           << ",\"knob\":\"" << json_escape(d.knob) << "\""
+           << ",\"core\":" << d.core << ",\"queue\":" << d.queue
+           << ",\"from\":" << json_number(d.from)
+           << ",\"to\":" << json_number(d.to)
+           << ",\"clamped\":" << (d.clamped ? "true" : "false")
+           << ",\"reason\":\"" << json_escape(d.reason) << "\"}\n";
+    }
+}
+
+std::string
+DecisionLog::to_string() const
+{
+    std::string out;
+    for (const Decision &d : decisions) {
+        out += strprintf("t=%8.1fus core%u %s", d.t_us, d.core,
+                         d.knob.c_str());
+        if (d.queue >= 0)
+            out += strprintf("[q%d]", d.queue);
+        out += strprintf(": %g -> %g%s  (%s)\n", d.from, d.to,
+                         d.clamped ? " [clamped]" : "", d.reason.c_str());
+    }
+    return out;
+}
+
+Controller::Controller(std::unique_ptr<Policy> policy,
+                       const ControlConfig &cfg)
+    : policy_(std::move(policy)), cfg_(cfg)
+{
+    PMILL_ASSERT(policy_ != nullptr, "controller needs a policy");
+    std::string err;
+    if (!cfg_.limits.validate(&err))
+        fatal("invalid actuation limits: %s", err.c_str());
+}
+
+void
+Controller::on_run_start(Actuator &act)
+{
+    policy_->reset();
+    log_.decisions.clear();
+    consumed_ = 0;
+
+    // Force the configured starting point (clamped like any other
+    // actuation) so controlled and static runs start identically.
+    ControlAction init;
+    init.burst = cfg_.initial_burst;
+    init.backoff_ns = cfg_.initial_backoff_ns;
+    init.reason = "initial knob state";
+    if (!init.changes_nothing())
+        apply(0.0, init, act);
+}
+
+ControlObservation
+Controller::distill(const Timeline &tl, std::size_t row) const
+{
+    ControlObservation obs;
+    obs.t_us = tl.rows[row].t_us;
+    obs.dt_us = tl.rows[row].dt_us;
+    // value() asserts on unknown columns; the aggregate columns below
+    // are registered by every engine, so absence is a wiring bug.
+    obs.ring_occupancy = tl.value(row, "ring_occupancy");
+    obs.mempool_occupancy = tl.value(row, "mempool_occupancy");
+    obs.p50_us = tl.value(row, "p50_latency_us");
+    obs.p99_us = tl.value(row, "p99_latency_us");
+    obs.throughput_gbps = tl.value(row, "throughput_gbps");
+    obs.mpps = tl.value(row, "mpps");
+    obs.rx_drops = tl.value(row, "rx_drops");
+    obs.pipeline_drops = tl.value(row, "pipeline_drops");
+    // Idle fraction: cycles burned on dry polls / backoff sleeps over
+    // the interval's total core cycles (self-normalizing, so no
+    // frequency or core count is needed).
+    const double wait = tl.value(row, "poll_wait_cycles");
+    const double busy = tl.value(row, "cycles");
+    obs.idle_fraction = wait + busy > 0 ? wait / (wait + busy) : 0.0;
+    // Per-device occupancy (absent past the last NIC — expected).
+    for (std::uint32_t n = 0;; ++n) {
+        const auto v = tl.try_value(
+            row, strprintf("nic%u_rx_ring_occupancy", n));
+        if (!v)
+            break;
+        obs.queue_occupancy.push_back(*v);
+    }
+    if (obs.queue_occupancy.size() < 2)
+        obs.queue_occupancy.clear();
+    return obs;
+}
+
+void
+Controller::log_change(double t_us, const char *knob, std::uint32_t core,
+                       std::int32_t queue, double from, double to,
+                       bool clamped, const std::string &reason)
+{
+    Decision d;
+    d.t_us = t_us;
+    d.knob = knob;
+    d.core = core;
+    d.queue = queue;
+    d.from = from;
+    d.to = to;
+    d.clamped = clamped;
+    d.reason = reason;
+    log_.decisions.push_back(std::move(d));
+}
+
+void
+Controller::apply(double t_us, const ControlAction &want, Actuator &act)
+{
+    const ActuationLimits &lim = cfg_.limits;
+
+    for (std::uint32_t c = 0; c < act.num_cores(); ++c) {
+        if (want.burst != 0) {
+            const std::uint32_t to =
+                std::clamp(want.burst, lim.burst_min, lim.burst_max);
+            const std::uint32_t from = act.rx_burst(c);
+            if (to != from) {
+                if (!cfg_.dry_run)
+                    act.set_rx_burst(c, to);
+                log_change(t_us, "rx_burst", c, -1, from, to,
+                           to != want.burst, want.reason);
+            }
+        }
+        if (want.backoff_ns >= 0) {
+            const double to = std::clamp(want.backoff_ns,
+                                         lim.backoff_min_ns,
+                                         lim.backoff_max_ns);
+            const double from = act.poll_backoff_ns(c);
+            if (to != from) {
+                if (!cfg_.dry_run)
+                    act.set_poll_backoff_ns(c, to);
+                log_change(t_us, "poll_backoff_ns", c, -1, from, to,
+                           to != want.backoff_ns, want.reason);
+            }
+        }
+        if (!want.weights.empty() &&
+            want.weights.size() == act.num_polled_queues(c)) {
+            for (std::uint32_t q = 0; q < want.weights.size(); ++q) {
+                const std::uint32_t to =
+                    std::clamp(want.weights[q], 1u, lim.weight_max);
+                const std::uint32_t from = act.queue_weight(c, q);
+                if (to != from) {
+                    if (!cfg_.dry_run)
+                        act.set_queue_weight(c, q, to);
+                    log_change(t_us, "queue_weight", c,
+                               static_cast<std::int32_t>(q), from, to,
+                               to != want.weights[q], want.reason);
+                }
+            }
+        }
+    }
+}
+
+void
+Controller::observe(const Timeline &tl, Actuator &act)
+{
+    for (; consumed_ < tl.rows.size(); ++consumed_) {
+        const ControlObservation obs = distill(tl, consumed_);
+        const ControlAction want = policy_->decide(
+            obs, act.rx_burst(0), act.poll_backoff_ns(0));
+        if (!want.changes_nothing())
+            apply(obs.t_us, want, act);
+    }
+}
+
+} // namespace pmill

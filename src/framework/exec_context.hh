@@ -175,6 +175,13 @@ class ExecContext : public AccessSink {
     /// @}
 
     const PipelineOpts &opts() const { return opts_; }
+
+    /**
+     * Retune the RX burst mid-run (closed-loop control actuation);
+     * the datapaths read opts().burst on every poll.
+     */
+    void set_burst(std::uint32_t burst) { opts_.burst = burst; }
+
     const CostModel &cost() const { return cost_; }
     CacheHierarchy &caches() { return caches_; }
     double freq_ghz() const { return freq_ghz_; }

@@ -14,6 +14,9 @@
 #include "src/common/random.hh"
 #include "src/common/table_printer.hh"
 #include "src/common/units.hh"
+#include "src/control/actuator.hh"
+#include "src/control/controller.hh"
+#include "src/control/policy.hh"
 #include "src/driver/mbuf.hh"
 #include "src/driver/mempool.hh"
 #include "src/driver/pmd.hh"

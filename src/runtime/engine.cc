@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/log.hh"
+#include "src/control/controller.hh"
 
 namespace pmill {
 
@@ -133,9 +134,11 @@ Engine::Engine(const MachineConfig &machine, const std::string &config_text,
         }
     }
 
-    for (auto &core : cores_)
+    for (auto &core : cores_) {
+        core->weights.assign(core->dps.size(), 1);
         for (auto &bq : core->dps)
             bq.dp->setup();
+    }
 
     // Let elements with large data structures reach steady-state
     // residency before timing starts.
@@ -228,9 +231,106 @@ Engine::register_telemetry()
         for (const auto &bq : core->dps)
             bq.dp->register_metrics(
                 metrics_, strprintf("nic%u_q%u_", bq.nic, bq.queue));
+
+    // Actuated knob state (mean over cores), so a controlled run's
+    // timeline shows the knob trajectory next to what it caused.
+    metrics_.add_gauge("rx_burst", [this] {
+        double v = 0;
+        for (const auto &core : cores_)
+            v += core->ctx->opts().burst;
+        return v / static_cast<double>(cores_.size());
+    });
+    metrics_.add_gauge("poll_backoff_ns", [this] {
+        double v = 0;
+        for (const auto &core : cores_)
+            v += core->poll_backoff_ns;
+        return v / static_cast<double>(cores_.size());
+    });
+    metrics_.add_probe_counter("poll_wait_cycles", [this] {
+        double v = 0;
+        for (const auto &core : cores_)
+            v += core->poll_wait_cycles;
+        return v;
+    });
 }
 
 Engine::~Engine() = default;
+
+std::uint32_t
+Engine::num_polled_queues(std::uint32_t core) const
+{
+    PMILL_ASSERT(core < cores_.size(),
+                 "core index %u out of range (engine has %zu cores)", core,
+                 cores_.size());
+    return static_cast<std::uint32_t>(cores_[core]->dps.size());
+}
+
+std::uint32_t
+Engine::rx_burst(std::uint32_t core) const
+{
+    PMILL_ASSERT(core < cores_.size(),
+                 "core index %u out of range (engine has %zu cores)", core,
+                 cores_.size());
+    return cores_[core]->ctx->opts().burst;
+}
+
+void
+Engine::set_rx_burst(std::uint32_t core, std::uint32_t burst)
+{
+    PMILL_ASSERT(core < cores_.size(),
+                 "core index %u out of range (engine has %zu cores)", core,
+                 cores_.size());
+    PMILL_ASSERT(burst >= 1 && burst <= kMaxBurst,
+                 "rx burst %u outside [1, %u]", burst, kMaxBurst);
+    cores_[core]->ctx->set_burst(burst);
+}
+
+double
+Engine::poll_backoff_ns(std::uint32_t core) const
+{
+    PMILL_ASSERT(core < cores_.size(),
+                 "core index %u out of range (engine has %zu cores)", core,
+                 cores_.size());
+    return cores_[core]->poll_backoff_ns;
+}
+
+void
+Engine::set_poll_backoff_ns(std::uint32_t core, double ns)
+{
+    PMILL_ASSERT(core < cores_.size(),
+                 "core index %u out of range (engine has %zu cores)", core,
+                 cores_.size());
+    PMILL_ASSERT(ns >= 0 && ns <= 1e6, "poll backoff %g ns outside [0, 1e6]",
+                 ns);
+    cores_[core]->poll_backoff_ns = ns;
+}
+
+std::uint32_t
+Engine::queue_weight(std::uint32_t core, std::uint32_t q) const
+{
+    PMILL_ASSERT(core < cores_.size(),
+                 "core index %u out of range (engine has %zu cores)", core,
+                 cores_.size());
+    PMILL_ASSERT(q < cores_[core]->weights.size(),
+                 "queue index %u out of range (core polls %zu queues)", q,
+                 cores_[core]->weights.size());
+    return cores_[core]->weights[q];
+}
+
+void
+Engine::set_queue_weight(std::uint32_t core, std::uint32_t q,
+                         std::uint32_t weight)
+{
+    PMILL_ASSERT(core < cores_.size(),
+                 "core index %u out of range (engine has %zu cores)", core,
+                 cores_.size());
+    PMILL_ASSERT(q < cores_[core]->weights.size(),
+                 "queue index %u out of range (core polls %zu queues)", q,
+                 cores_[core]->weights.size());
+    PMILL_ASSERT(weight >= 1 && weight <= 64,
+                 "queue weight %u outside [1, 64]", weight);
+    cores_[core]->weights[q] = weight;
+}
 
 void
 Engine::enable_tracing(const TracerConfig &cfg)
@@ -281,10 +381,15 @@ Engine::deliver_next(std::uint32_t nic_idx)
     const TimeNs done = gen.next_start + nic.wire_time_ns(len);
     nic.deliver(frame, len, done);
 
-    // Next frame starts after this one's share of the offered rate.
+    // Next frame starts after this one's share of the offered rate
+    // (post-step rate once the configured load step has passed).
+    const double offered =
+        (load_step_gbps_ > 0 && gen.next_start >= load_step_at_)
+            ? load_step_gbps_
+            : offered_gbps_;
     const double wire_bits =
         static_cast<double>((len + kWireOverheadBytes) * 8);
-    gen.next_start += wire_bits / offered_gbps_;
+    gen.next_start += wire_bits / offered;
 }
 
 void
@@ -304,33 +409,39 @@ Engine::step_core(Core &core)
     }
 
     for (std::size_t k = 0; k < core.dps.size(); ++k) {
-        BoundQueue &bq =
-            core.dps[(core.rr_cursor + k) % core.dps.size()];
-        PacketBatch batch;
-        const std::uint32_t n = bq.dp->rx(core.clock, batch, ctx);
-        if (n == 0)
-            continue;
-        any = true;
-        if (tron) {
-            // Head-sample lifecycles: a sampled packet carries its id
-            // through the pipeline and into the inflight map so the
-            // TX completion can be joined back.
-            for (std::uint32_t i = 0; i < batch.count; ++i) {
-                if (!tracer_->sample_packet())
-                    continue;
-                PacketHandle &h = batch[i];
-                h.trace_id = tracer_->next_packet_id();
-                tracer_->record(TraceEventKind::kRxPacket, h.arrival_ns,
-                                h.trace_id, 0, 0, h.len);
-                inflight_[arrival_key(h.arrival_ns)] = h.trace_id;
+        const std::size_t slot = (core.rr_cursor + k) % core.dps.size();
+        BoundQueue &bq = core.dps[slot];
+        // Weighted round-robin: up to weights[slot] consecutive
+        // bursts from this queue per polling round (weight 1 is the
+        // classic schedule).
+        const std::uint32_t w = core.weights[slot];
+        for (std::uint32_t rep = 0; rep < w; ++rep) {
+            PacketBatch batch;
+            const std::uint32_t n = bq.dp->rx(core.clock, batch, ctx);
+            if (n == 0)
+                break;
+            any = true;
+            if (tron) {
+                // Head-sample lifecycles: a sampled packet carries its
+                // id through the pipeline and into the inflight map so
+                // the TX completion can be joined back.
+                for (std::uint32_t i = 0; i < batch.count; ++i) {
+                    if (!tracer_->sample_packet())
+                        continue;
+                    PacketHandle &h = batch[i];
+                    h.trace_id = tracer_->next_packet_id();
+                    tracer_->record(TraceEventKind::kRxPacket,
+                                    h.arrival_ns, h.trace_id, 0, 0, h.len);
+                    inflight_[arrival_key(h.arrival_ns)] = h.trace_id;
+                }
             }
+            ctx.on_compute(ctx.cost().per_burst_cycles, 20);
+            core.pipe->process(batch, ctx);
+            // Post time includes the processing just performed.
+            const TimeNs post = core.clock +
+                                (ctx.elapsed_ns() - core.last_elapsed);
+            bq.dp->tx(batch, post, ctx);
         }
-        ctx.on_compute(ctx.cost().per_burst_cycles, 20);
-        core.pipe->process(batch, ctx);
-        // Post time includes the processing the core just performed.
-        const TimeNs post = core.clock +
-                            (ctx.elapsed_ns() - core.last_elapsed);
-        bq.dp->tx(batch, post, ctx);
     }
     core.rr_cursor = (core.rr_cursor + 1) %
                      static_cast<std::uint32_t>(core.dps.size());
@@ -345,14 +456,28 @@ Engine::step_core(Core &core)
     core.clock += dt;
 
     if (!any) {
-        // Skip ahead to the next completion if the queues are dry
-        // (busy-polling consumes no simulated events we care about).
-        TimeNs next = kInf;
-        for (auto &bq : core.dps)
-            next = std::min(next,
-                            nics_[bq.nic]->next_cqe_time(bq.queue));
-        if (next > core.clock && next < kInf)
-            core.clock = next;
+        if (core.poll_backoff_ns > 0) {
+            // Metronome-style backoff: the core parks for the sleep
+            // interval instead of spinning; packets that arrive
+            // meanwhile wait in the ring until the next poll. The
+            // slept time counts as idle cycles like a dry busy-poll.
+            core.poll_wait_cycles +=
+                core.poll_backoff_ns * machine_.freq_ghz;
+            core.clock += core.poll_backoff_ns;
+        } else {
+            // Skip ahead to the next completion if the queues are dry
+            // (busy-polling consumes no simulated events we care
+            // about); account the burned cycles for the telemetry.
+            TimeNs next = kInf;
+            for (auto &bq : core.dps)
+                next = std::min(next,
+                                nics_[bq.nic]->next_cqe_time(bq.queue));
+            if (next > core.clock && next < kInf) {
+                core.poll_wait_cycles +=
+                    (next - core.clock) * machine_.freq_ghz;
+                core.clock = next;
+            }
+        }
     }
 }
 
@@ -402,10 +527,19 @@ Engine::run(const RunConfig &rc)
     tx_pkts_ = 0;
     tx_wire_bits_ = tx_frame_bits_ = 0;
 
+    load_step_at_ = warm_end + rc.load_step_us * 1000.0;
+    load_step_gbps_ = rc.load_step_us > 0
+                          ? std::min(rc.load_step_gbps,
+                                     machine_.nic.link_gbps)
+                          : 0.0;
+
     sampler_ = rc.sample_interval_us > 0
                    ? std::make_unique<Sampler>(metrics_,
                                                rc.sample_interval_us)
                    : nullptr;
+
+    if (controller_)
+        controller_->on_run_start(*this);
 
     std::vector<ExecCounters> exec_base(cores_.size());
     std::vector<MemStats> mem_base(cores_.size());
@@ -474,12 +608,18 @@ Engine::run(const RunConfig &rc)
             step_core(*cores_[core_idx]);
 
         drain_all_tx(t);
-        if (sampler_ && measuring_)
+        if (sampler_ && measuring_) {
             sampler_->advance(t);
+            if (controller_)
+                controller_->observe(sampler_->timeline(), *this);
+        }
     }
     drain_all_tx(end);
-    if (sampler_ && measuring_)
+    if (sampler_ && measuring_) {
         sampler_->advance(end);
+        if (controller_)
+            controller_->observe(sampler_->timeline(), *this);
+    }
 
     RunResult r;
     r.duration_ns = end - warm_end;

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "src/common/histogram.hh"
+#include "src/common/log.hh"
+#include "src/control/actuator.hh"
 #include "src/framework/datapath.hh"
 #include "src/framework/exec_context.hh"
 #include "src/framework/pipeline.hh"
@@ -59,6 +61,13 @@ struct RunConfig {
     /// scaling stand-in for the paper's 100-ms perf windows); 0
     /// disables in-run sampling.
     double sample_interval_us = 100.0;
+    /// @name Load step (adaptive-control experiments).
+    /// At load_step_us after measurement start the offered rate
+    /// switches to load_step_gbps (0 in either field = no step).
+    /// @{
+    double load_step_us = 0.0;
+    double load_step_gbps = 0.0;
+    /// @}
 };
 
 /** Results of one run (the quantities the paper's figures report). */
@@ -81,8 +90,10 @@ struct RunResult {
     double llc_kmisses_per_100ms = 0;
 };
 
+class Controller;
+
 /** One experiment: machine + NF configuration + traffic. */
-class Engine {
+class Engine : public Actuator {
   public:
     /**
      * @param config_text Click configuration of the NF.
@@ -111,12 +122,19 @@ class Engine {
         tx_capture_ = std::move(hook);
     }
 
-    /** Pipeline of core 0 (for inspection / the mill). */
-    Pipeline &pipeline(std::uint32_t core = 0) { return *cores_[core]->pipe; }
+    /** Pipeline of core @p core (for inspection / the mill). */
+    Pipeline &
+    pipeline(std::uint32_t core = 0)
+    {
+        PMILL_ASSERT(core < cores_.size(),
+                     "core index %u out of range (engine has %zu cores)",
+                     core, cores_.size());
+        return *cores_[core]->pipe;
+    }
 
     /** Number of DUT cores in this engine. */
     std::uint32_t
-    num_cores() const
+    num_cores() const override
     {
         return static_cast<std::uint32_t>(cores_.size());
     }
@@ -125,12 +143,46 @@ class Engine {
     SimMemory &memory() { return *mem_; }
 
     /** Cache hierarchy of @p core (diagnostics / miss attribution). */
-    CacheHierarchy &caches(std::uint32_t core = 0)
+    CacheHierarchy &
+    caches(std::uint32_t core = 0)
     {
+        PMILL_ASSERT(core < cores_.size(),
+                     "core index %u out of range (engine has %zu cores)",
+                     core, cores_.size());
         return *cores_[core]->caches;
     }
 
-    NicDevice &nic(std::uint32_t i = 0) { return *nics_[i]; }
+    NicDevice &
+    nic(std::uint32_t i = 0)
+    {
+        PMILL_ASSERT(i < nics_.size(),
+                     "NIC index %u out of range (engine has %zu NICs)", i,
+                     nics_.size());
+        return *nics_[i];
+    }
+
+    /// @name Actuation surface (closed-loop control).
+    /// All setters assert the bounds hard — the Controller clamps to
+    /// its ActuationLimits before calling, so an out-of-range value
+    /// here is a bug, not a policy overreach.
+    /// @{
+    std::uint32_t num_polled_queues(std::uint32_t core) const override;
+    std::uint32_t rx_burst(std::uint32_t core) const override;
+    void set_rx_burst(std::uint32_t core, std::uint32_t burst) override;
+    double poll_backoff_ns(std::uint32_t core) const override;
+    void set_poll_backoff_ns(std::uint32_t core, double ns) override;
+    std::uint32_t queue_weight(std::uint32_t core,
+                               std::uint32_t q) const override;
+    void set_queue_weight(std::uint32_t core, std::uint32_t q,
+                          std::uint32_t weight) override;
+
+    /**
+     * Attach (or detach, with nullptr) a controller. Non-owning; the
+     * engine calls on_run_start() when run() begins and observe()
+     * after every sampler advance inside the measured window.
+     */
+    void set_controller(Controller *c) { controller_ = c; }
+    /// @}
 
     /** The telemetry registry (aggregate + per-queue metrics). */
     MetricsRegistry &metrics() { return metrics_; }
@@ -200,6 +252,17 @@ class Engine {
         TimeNs last_elapsed = 0;
         std::uint32_t rr_cursor = 0;
         std::uint8_t index = 0;  ///< stamped on trace records
+        /// @name Actuated knobs (closed-loop control).
+        /// @{
+        /// Metronome-style sleep when this core's queues are dry
+        /// (0 = classic busy-poll skipping to the next completion).
+        TimeNs poll_backoff_ns = 0;
+        /// Round-robin weight per polled queue (aligned with dps;
+        /// weight w = up to w consecutive bursts per polling round).
+        std::vector<std::uint32_t> weights;
+        /// Core cycles burned busy-polling dry queues (counter).
+        double poll_wait_cycles = 0;
+        /// @}
     };
 
     struct Generator {
@@ -222,6 +285,12 @@ class Engine {
     PipelineOpts opts_;
     Trace trace_;
     double offered_gbps_ = 100.0;
+    /// @name Load step (set per run; gated on load_step_gbps_ > 0).
+    /// @{
+    TimeNs load_step_at_ = 0;
+    double load_step_gbps_ = 0;
+    /// @}
+    Controller *controller_ = nullptr;  ///< non-owning; may be null
 
     std::unique_ptr<SimMemory> mem_;
     std::vector<std::unique_ptr<NicDevice>> nics_;

@@ -90,6 +90,9 @@ void
 export_jsonl(const Timeline &tl, std::ostream &os)
 {
     for (const TimelineRow &r : tl.rows) {
+        PMILL_ASSERT(r.values.size() == tl.columns.size(),
+                     "timeline row has %zu values for %zu columns",
+                     r.values.size(), tl.columns.size());
         os << "{\"type\":\"sample\",\"t_us\":" << json_number(r.t_us)
            << ",\"dt_us\":" << json_number(r.dt_us);
         for (std::size_t c = 0; c < tl.columns.size(); ++c)
@@ -106,6 +109,9 @@ export_csv(const Timeline &tl, std::ostream &os)
     header.insert(header.end(), tl.columns.begin(), tl.columns.end());
     write_csv_record(os, header);
     for (const TimelineRow &r : tl.rows) {
+        PMILL_ASSERT(r.values.size() == tl.columns.size(),
+                     "timeline row has %zu values for %zu columns",
+                     r.values.size(), tl.columns.size());
         std::vector<std::string> cells = {json_number(r.t_us),
                                           json_number(r.dt_us)};
         for (double v : r.values)

@@ -1,5 +1,7 @@
 #include "src/telemetry/sampler.hh"
 
+#include <cmath>
+
 #include "src/common/log.hh"
 
 namespace pmill {
@@ -17,23 +19,41 @@ double
 Timeline::value(std::size_t row, const std::string &name) const
 {
     const int c = column(name);
+    PMILL_ASSERT(c >= 0, "unknown timeline column '%s'", name.c_str());
+    PMILL_ASSERT(row < rows.size(),
+                 "timeline row %zu out of range (have %zu)", row,
+                 rows.size());
+    return rows[row].values[static_cast<std::size_t>(c)];
+}
+
+std::optional<double>
+Timeline::try_value(std::size_t row, const std::string &name) const
+{
+    const int c = column(name);
     if (c < 0 || row >= rows.size())
-        return 0.0;
+        return std::nullopt;
     return rows[row].values[static_cast<std::size_t>(c)];
 }
 
 Sampler::Sampler(MetricsRegistry &reg, double interval_us)
-    : reg_(reg), interval_ns_(interval_us * 1000.0)
+    : reg_(reg),
+      interval_ns_(static_cast<std::uint64_t>(
+          std::llround(interval_us * 1000.0)))
 {
-    PMILL_ASSERT(interval_us > 0, "sample interval must be positive");
+    PMILL_ASSERT(interval_us > 0 && interval_ns_ >= 1,
+                 "sample interval must round to >= 1 ns");
 
     // Column schema is fixed at construction: one column per metric,
-    // two (p50/p99) per histogram.
-    for (MetricId id = 0; id < reg_.size(); ++id)
+    // two (p50/p99) per histogram. Anything registered later is
+    // outside the schema and never emitted.
+    schema_metrics_ = reg_.size();
+    schema_hists_ = reg_.histograms().size();
+    for (MetricId id = 0; id < schema_metrics_; ++id)
         tl_.columns.push_back(reg_.name(id));
-    for (const auto &h : reg_.histograms()) {
-        tl_.columns.push_back("p50_" + h.name);
-        tl_.columns.push_back("p99_" + h.name);
+    for (std::size_t h = 0; h < schema_hists_; ++h) {
+        const std::string &name = reg_.histograms()[h].name;
+        tl_.columns.push_back("p50_" + name);
+        tl_.columns.push_back("p99_" + name);
     }
 }
 
@@ -41,15 +61,15 @@ void
 Sampler::start(TimeNs t0)
 {
     t0_ = prev_ = t0;
-    next_ = t0 + interval_ns_;
+    ticks_ = 0;
     started_ = true;
 
-    last_.assign(reg_.size(), 0.0);
-    for (MetricId id = 0; id < reg_.size(); ++id)
+    last_.assign(schema_metrics_, 0.0);
+    for (MetricId id = 0; id < schema_metrics_; ++id)
         if (reg_.kind(id) == MetricKind::kCounter)
             last_[id] = reg_.read(id);
-    for (const auto &h : reg_.histograms())
-        h.hist->clear();
+    for (std::size_t h = 0; h < schema_hists_; ++h)
+        reg_.histograms()[h].hist->clear();
 }
 
 void
@@ -57,14 +77,15 @@ Sampler::advance(TimeNs now)
 {
     if (!started_)
         return;
-    while (next_ <= now)
-        emit(next_);
+    while (boundary(ticks_ + 1) <= now)
+        emit();
 }
 
 void
-Sampler::emit(TimeNs boundary)
+Sampler::emit()
 {
-    const std::size_t n = reg_.size();
+    const std::size_t n = schema_metrics_;
+    const TimeNs bound = boundary(ticks_ + 1);
 
     // Pass 1: cumulative counter values and their interval deltas.
     std::vector<double> cum(n, 0.0), delta(n, 0.0);
@@ -77,12 +98,13 @@ Sampler::emit(TimeNs boundary)
     }
 
     TimelineRow row;
-    row.dt_us = (boundary - prev_) / 1000.0;
-    row.t_us = (boundary - t0_) / 1000.0;
+    row.dt_us = (bound - prev_) / 1000.0;
+    row.t_us = (bound - t0_) / 1000.0;
     row.values.reserve(tl_.columns.size());
-    const double dt_sec = (boundary - prev_) * 1e-9;
+    const double dt_sec = (bound - prev_) * 1e-9;
 
-    // Pass 2: one column per metric.
+    // Pass 2: one column per metric. Rate/ratio sources are always
+    // registered before the derived metric, so their ids are < n.
     for (MetricId id = 0; id < n; ++id) {
         switch (reg_.kind(id)) {
           case MetricKind::kCounter:
@@ -109,15 +131,19 @@ Sampler::emit(TimeNs boundary)
     }
 
     // Interval histograms: percentiles, then drain for the next one.
-    for (const auto &h : reg_.histograms()) {
-        row.values.push_back(h.hist->percentile(0.5));
-        row.values.push_back(h.hist->percentile(0.99));
-        h.hist->clear();
+    for (std::size_t h = 0; h < schema_hists_; ++h) {
+        Histogram *hist = reg_.histograms()[h].hist.get();
+        row.values.push_back(hist->percentile(0.5));
+        row.values.push_back(hist->percentile(0.99));
+        hist->clear();
     }
 
+    PMILL_ASSERT(row.values.size() == tl_.columns.size(),
+                 "timeline row has %zu values for %zu columns",
+                 row.values.size(), tl_.columns.size());
     tl_.rows.push_back(std::move(row));
-    prev_ = boundary;
-    next_ = boundary + interval_ns_;
+    prev_ = bound;
+    ++ticks_;
 }
 
 } // namespace pmill

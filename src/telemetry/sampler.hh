@@ -9,11 +9,20 @@
  * Counters become per-interval deltas, gauges instantaneous values,
  * rates/ratios derived columns, and histograms per-interval p50/p99
  * (drained after each snapshot).
+ *
+ * The column schema is frozen at construction: metrics registered
+ * after the Sampler is built are not sampled (rows always align with
+ * the ctor-time columns). Interval boundaries are integer
+ * nanoseconds — the interval is rounded to whole ns (min 1 ns) and
+ * boundary k sits at exactly t0 + k*interval, so boundaries never
+ * drift however long the run is.
  */
 
 #ifndef PMILL_TELEMETRY_SAMPLER_HH
 #define PMILL_TELEMETRY_SAMPLER_HH
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,8 +46,18 @@ struct Timeline {
     /** Column index of @p name, or -1. */
     int column(const std::string &name) const;
 
-    /** Value of column @p name in @p row (0 when absent). */
+    /**
+     * Value of column @p name in @p row. Asking for a column that was
+     * never registered (or a row that does not exist) is a caller
+     * bug — a silent 0.0 is indistinguishable from a real zero and
+     * would feed a controller garbage — so this asserts. Use
+     * try_value() when absence is an expected case.
+     */
     double value(std::size_t row, const std::string &name) const;
+
+    /** Value of column @p name in @p row, or nullopt when absent. */
+    std::optional<double> try_value(std::size_t row,
+                                    const std::string &name) const;
 
     bool empty() const { return rows.empty(); }
 };
@@ -46,7 +65,8 @@ struct Timeline {
 class Sampler {
   public:
     /**
-     * @param interval_us Simulated time between snapshots.
+     * @param interval_us Simulated time between snapshots; rounded to
+     *        whole nanoseconds (must round to >= 1 ns).
      */
     Sampler(MetricsRegistry &reg, double interval_us);
 
@@ -63,18 +83,31 @@ class Sampler {
     void advance(TimeNs now);
 
     const Timeline &timeline() const { return tl_; }
-    double interval_us() const { return interval_ns_ / 1000.0; }
+    double interval_us() const
+    {
+        return static_cast<double>(interval_ns_) / 1000.0;
+    }
     bool started() const { return started_; }
 
   private:
-    void emit(TimeNs boundary);
+    /** Exact time of interval boundary @p tick (1-based). */
+    TimeNs boundary(std::uint64_t tick) const
+    {
+        return t0_ + static_cast<double>(tick * interval_ns_);
+    }
+
+    void emit();
 
     MetricsRegistry &reg_;
-    double interval_ns_;
+    std::uint64_t interval_ns_;  ///< whole nanoseconds, >= 1
     TimeNs t0_ = 0;
-    TimeNs next_ = 0;
+    std::uint64_t ticks_ = 0;  ///< boundaries emitted since start()
     TimeNs prev_ = 0;
     bool started_ = false;
+    /// Ctor-time schema: metrics/histograms registered later are not
+    /// sampled (rows must stay aligned with the columns).
+    std::size_t schema_metrics_ = 0;
+    std::size_t schema_hists_ = 0;
     std::vector<double> last_;  ///< previous cumulative, per metric
     Timeline tl_;
 };

@@ -141,5 +141,46 @@ TEST(EngineRun, WorkPackageWarmupEstablishesResidency)
               0.05);
 }
 
+TEST(EngineRun, AccessorBoundsAreChecked)
+{
+    // A 1-core / 1-NIC engine: any nonzero index is a caller bug and
+    // must trip the bounds assert instead of indexing out of range.
+    Trace t = make_fixed_size_trace(256, 64);
+    MachineConfig m;
+    Engine engine(m, forwarder_config(), PipelineOpts::vanilla(), t);
+    ASSERT_EQ(engine.num_cores(), 1u);
+    EXPECT_DEATH({ (void)engine.pipeline(1); }, "out of range");
+    EXPECT_DEATH({ (void)engine.caches(2); }, "out of range");
+    EXPECT_DEATH({ (void)engine.nic(3); }, "out of range");
+}
+
+TEST(EngineRun, LoadStepRaisesOfferedRate)
+{
+    // The offered rate must switch at warm_end + load_step_us: the
+    // sampled throughput before the step sits near the low rate,
+    // after it near the high rate.
+    Trace t = make_fixed_size_trace(1024, 512, 64);
+    MachineConfig m;
+    Engine engine(m, forwarder_config(), PipelineOpts::packetmill(), t);
+    RunConfig rc;
+    rc.offered_gbps = 10.0;
+    rc.warmup_us = 200;
+    rc.duration_us = 1000;
+    rc.sample_interval_us = 100;
+    rc.load_step_us = 500;
+    rc.load_step_gbps = 60.0;
+    engine.run(rc);
+
+    const Timeline &tl = engine.timeline();
+    ASSERT_GE(tl.rows.size(), 10u);
+    double pre = 0, post = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        pre += tl.value(i, "throughput_gbps") / 4.0;
+    for (std::size_t i = 6; i < 10; ++i)
+        post += tl.value(i, "throughput_gbps") / 4.0;
+    EXPECT_NEAR(pre, 10.0, 3.0);
+    EXPECT_NEAR(post, 60.0, 6.0);
+}
+
 } // namespace
 } // namespace pmill

@@ -310,5 +310,77 @@ TEST(EngineTelemetry, PerElementStatsAccumulate)
     EXPECT_GT(total_cycles, 0.0);
 }
 
+TEST(Sampler, SchemaIsFrozenAtConstruction)
+{
+    MetricsRegistry reg;
+    CounterHandle a = reg.add_counter("early");
+    Sampler s(reg, 100.0);
+
+    // Registered after the sampler was built: outside the schema.
+    CounterHandle b = reg.add_counter("late");
+    Histogram *h = reg.add_histogram("late_hist", 100.0, 64);
+
+    s.start(0.0);
+    a.add(3);
+    b.add(999);
+    h->record(1.0);
+    s.advance(250'000.0);
+
+    const Timeline &tl = s.timeline();
+    ASSERT_EQ(tl.rows.size(), 2u);
+    ASSERT_EQ(tl.columns.size(), 1u)
+        << "late registrations must not add columns";
+    for (const TimelineRow &row : tl.rows)
+        EXPECT_EQ(row.values.size(), tl.columns.size())
+            << "every row must align with the ctor-time schema";
+    EXPECT_DOUBLE_EQ(tl.value(0, "early"), 3.0);
+    EXPECT_EQ(tl.column("late"), -1);
+    EXPECT_EQ(tl.column("p50_late_hist"), -1);
+}
+
+TEST(Sampler, BoundariesAreIntegerNanoseconds)
+{
+    MetricsRegistry reg;
+    reg.add_counter("pkts");
+    // 1.5 ns nominal interval: must round to exactly 2 ns, not drift
+    // along at fractional-ns boundaries.
+    Sampler s(reg, 0.0015);
+    s.start(0.0);
+    s.advance(30.0);
+    const Timeline &tl = s.timeline();
+    ASSERT_EQ(tl.rows.size(), 15u)
+        << "30 ns at a 2-ns rounded interval is exactly 15 rows";
+    for (std::size_t i = 0; i < tl.rows.size(); ++i) {
+        EXPECT_DOUBLE_EQ(tl.rows[i].t_us,
+                         static_cast<double>(i + 1) * 0.002);
+        EXPECT_DOUBLE_EQ(tl.rows[i].dt_us, 0.002);
+    }
+}
+
+TEST(Sampler, SubNanosecondIntervalRejected)
+{
+    MetricsRegistry reg;
+    EXPECT_DEATH({ Sampler s(reg, 0.0002); }, "round");
+}
+
+TEST(TimelineLookup, UnknownColumnIsNotSilentlyZero)
+{
+    MetricsRegistry reg;
+    CounterHandle c = reg.add_counter("pkts");
+    Sampler s(reg, 10.0);
+    s.start(0.0);
+    c.add(4);
+    s.advance(10'000.0);
+    const Timeline &tl = s.timeline();
+
+    EXPECT_FALSE(tl.try_value(0, "no_such_metric").has_value());
+    EXPECT_FALSE(tl.try_value(7, "pkts").has_value());
+    ASSERT_TRUE(tl.try_value(0, "pkts").has_value());
+    EXPECT_DOUBLE_EQ(*tl.try_value(0, "pkts"), 4.0);
+
+    EXPECT_DEATH({ (void)tl.value(0, "no_such_metric"); }, "unknown");
+    EXPECT_DEATH({ (void)tl.value(7, "pkts"); }, "out of range");
+}
+
 } // namespace
 } // namespace pmill
