@@ -61,6 +61,7 @@
  * configuration instead of the vanilla baseline.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -388,7 +389,18 @@ main(int argc, char **argv)
     rc.sample_interval_us = sample_us;
     rc.load_step_us = load_step_us;
     rc.load_step_gbps = load_step_gbps;
+
+    const auto host_t0 = std::chrono::steady_clock::now();
     RunResult r = engine.run(rc);
+    const auto host_t1 = std::chrono::steady_clock::now();
+    // Host (simulator) speed: how much simulated time and traffic one
+    // wall-clock second buys on this machine.
+    const double host_wall_s =
+        std::chrono::duration<double>(host_t1 - host_t0).count();
+    const double sim_s = (rc.warmup_us + rc.duration_us) * 1e-6;
+    const double host_pkts_per_s =
+        host_wall_s > 0 ? r.tx_pkts / host_wall_s : 0.0;
+    const double sim_per_wall = host_wall_s > 0 ? sim_s / host_wall_s : 0.0;
 
     if (!decision_log_path.empty()) {
         std::ofstream out(decision_log_path);
@@ -487,6 +499,11 @@ main(int argc, char **argv)
             << json_number(r.llc_kloads_per_100ms)
             << ",\"llc_kmisses_per_100ms\":"
             << json_number(r.llc_kmisses_per_100ms) << "}\n";
+        out << "{\"type\":\"host\",\"wall_s\":" << json_number(host_wall_s)
+            << ",\"sim_s\":" << json_number(sim_s)
+            << ",\"sim_per_wall\":" << json_number(sim_per_wall)
+            << ",\"sim_pkts_per_s\":" << json_number(host_pkts_per_s)
+            << "}\n";
     }
 
     if (!stats_csv_path.empty()) {
@@ -543,6 +560,9 @@ main(int argc, char **argv)
     std::printf("llc:        %.0f kilo-loads, %.1f kilo-misses per "
                 "100 ms; IPC %.2f\n",
                 r.llc_kloads_per_100ms, r.llc_kmisses_per_100ms, r.ipc);
+    std::printf("host:       %.0f ms wall, %.2f Msim-pkt/s, "
+                "%.4f sim-s per wall-s\n",
+                host_wall_s * 1e3, host_pkts_per_s / 1e6, sim_per_wall);
     if (controller) {
         std::printf("control:    %s policy, %zu decision(s)\n",
                     controller->policy().name(),

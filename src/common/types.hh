@@ -27,6 +27,17 @@ inline constexpr std::size_t kCacheLineBytes = 64;
 /** Page size used by the simulated TLB model. */
 inline constexpr std::size_t kPageBytes = 4096;
 
+/** Cache lines per TLB page (both are powers of two). */
+inline constexpr std::uint64_t kLinesPerPage = kPageBytes / kCacheLineBytes;
+
+/**
+ * Branch hints for the host-side hot path (the accounting fast path
+ * runs once per simulated memory access, so mispredicted dispatch is
+ * measurable in wall-clock terms). Semantics-neutral: hints only.
+ */
+#define PMILL_LIKELY(x) __builtin_expect(!!(x), 1)
+#define PMILL_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
 /** Round @p v up to the next multiple of @p align (power of two). */
 constexpr std::uint64_t
 round_up(std::uint64_t v, std::uint64_t align)

@@ -108,8 +108,17 @@ struct ExecCounters {
     }
 };
 
-/** The DUT core's accounting context. */
-class ExecContext : public AccessSink {
+/**
+ * The DUT core's accounting context.
+ *
+ * `final` so that code holding a concrete `ExecContext &` (the
+ * pipeline, datapaths, and drivers all do) gets direct, inlinable
+ * calls into the CacheHierarchy header fast path instead of a vtable
+ * dispatch per simulated access; only callers that genuinely hold an
+ * `AccessSink *` (tables, PacketView behind a sink pointer) still pay
+ * the virtual hop.
+ */
+class ExecContext final : public AccessSink {
   public:
     ExecContext(CacheHierarchy &caches, const CostModel &cost,
                 const PipelineOpts &opts, double freq_ghz)

@@ -124,6 +124,24 @@ Pipeline::build(const std::string &config_text, SimMemory &mem,
     if (!opts.static_graph)
         p->frag_ = mem.alloc(kFragRegionBytes, kPageBytes, Region::kHeap);
     p->elem_stats_.resize(p->instances_.size());
+
+    // Resolve the executor's dispatch tables once: terminal flags
+    // (instead of a dynamic_cast per invocation) and the successor of
+    // every (element, port) pair (instead of an edge-list scan).
+    p->is_tx_.resize(p->instances_.size());
+    p->succ_.resize(p->instances_.size());
+    for (std::size_t i = 0; i < p->instances_.size(); ++i) {
+        p->is_tx_[i] =
+            dynamic_cast<ToDPDKDevice *>(p->instances_[i].get()) != nullptr;
+        std::uint32_t nports = p->instances_[i]->num_outputs();
+        for (const auto &e : p->parsed_.edges)
+            if (e.from == i)
+                nports = std::max(nports, e.from_port + 1);
+        p->succ_[i].assign(nports, -1);
+        for (std::uint32_t port = 0; port < nports; ++port)
+            p->succ_[i][port] =
+                p->parsed_.next_of(static_cast<std::uint32_t>(i), port);
+    }
     return p;
 }
 
@@ -200,7 +218,10 @@ Pipeline::process(PacketBatch &batch, ExecContext &ctx)
     if (batch.count == 0)
         return;
 
-    if (PMILL_TRACE_ON(tracer_))
+    // Hoisted once per pipeline invocation; run_from reads the member
+    // instead of re-testing the tracer at every graph hop.
+    tron_ = PMILL_TRACE_ON(tracer_);
+    if (PMILL_UNLIKELY(tron_))
         trace_batch_ = tracer_->next_batch_id();
 
     // Per-packet pointer chase through the fragmented heap (vanilla
@@ -238,7 +259,7 @@ Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
 {
     if (batch.count == 0)
         return;
-    const bool tron = PMILL_TRACE_ON(tracer_);
+    const bool tron = tron_;
     if (idx < 0) {
         // Unconnected port: Click drops here.
         dropped_ += batch.count;
@@ -301,7 +322,7 @@ Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
     }
 
     // Terminal: ToDPDKDevice stamps the egress port and collects.
-    if (dynamic_cast<ToDPDKDevice *>(e) != nullptr) {
+    if (is_tx_[static_cast<std::size_t>(idx)]) {
         for (std::uint32_t i = 0; i < batch.count; ++i) {
             if (!batch[i].dropped) {
                 PMILL_ASSERT(out.count < kMaxBurst, "tx batch overflow");
@@ -335,8 +356,7 @@ Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
 
     const std::uint32_t nout = e->num_outputs();
     if (nout <= 1) {
-        run_from(parsed_.next_of(static_cast<std::uint32_t>(idx), 0),
-                 batch, ctx, out);
+        run_from(successor(idx, 0), batch, ctx, out);
         return;
     }
 
@@ -350,10 +370,8 @@ Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
                 ++sub.count;
             }
         }
-        if (sub.count) {
-            run_from(parsed_.next_of(static_cast<std::uint32_t>(idx), port),
-                     sub, ctx, out);
-        }
+        if (sub.count)
+            run_from(successor(idx, port), sub, ctx, out);
     }
 }
 

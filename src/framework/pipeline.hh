@@ -127,6 +127,14 @@ class Pipeline {
     void run_from(int idx, PacketBatch &batch, ExecContext &ctx,
                   PacketBatch &out);
 
+    /** Successor of (@p idx, @p port) from the precomputed table. */
+    int
+    successor(int idx, std::uint32_t port) const
+    {
+        const auto &s = succ_[static_cast<std::size_t>(idx)];
+        return port < s.size() ? s[port] : -1;
+    }
+
     ParsedGraph parsed_;
     std::vector<std::unique_ptr<Element>> instances_;
     MetadataLayout layout_;
@@ -143,7 +151,16 @@ class Pipeline {
     std::uint64_t dropped_ = 0;
     std::vector<ElementStats> elem_stats_;
 
+    /// Host-side dispatch accelerators, resolved once at build time so
+    /// the per-batch executor does no RTTI and no edge-list scans:
+    /// is_tx_[i] marks ToDPDKDevice elements (replaces a dynamic_cast
+    /// per element invocation); succ_[i][port] is the successor index
+    /// (-1 when unconnected).
+    std::vector<std::uint8_t> is_tx_;
+    std::vector<std::vector<int>> succ_;
+
     Tracer *tracer_ = nullptr;
+    bool tron_ = false;  ///< tracing live for the current process()
     TimeNs trace_base_ns_ = 0;
     std::uint32_t trace_batch_ = 0;  ///< current pipeline-invocation id
     std::vector<std::uint16_t> trace_spans_;  ///< per-element span ids

@@ -24,10 +24,12 @@ MemStats::operator-(const MemStats &o) const
     return d;
 }
 
-CacheLevel::CacheLevel(std::uint64_t size_bytes, std::uint32_t ways)
+CacheLevel::CacheLevel(std::uint64_t size_bytes, std::uint32_t ways,
+                       bool invalidate_filter)
     : ways_(ways)
 {
     PMILL_ASSERT(ways > 0, "cache needs at least one way");
+    PMILL_ASSERT(ways <= 16, "per-set way bitmasks hold 16 ways");
     std::uint64_t lines = size_bytes / kCacheLineBytes;
     sets_ = lines / ways;
     PMILL_ASSERT(is_pow2(sets_),
@@ -35,16 +37,59 @@ CacheLevel::CacheLevel(std::uint64_t size_bytes, std::uint32_t ways)
                  "ways %u)",
                  static_cast<unsigned long long>(size_bytes), ways);
     set_mask_ = sets_ - 1;
-    tags_.resize(sets_ * ways_);
+    tag_shift_ = 0;
+    while ((1ull << tag_shift_) < sets_)
+        ++tag_shift_;
+    // One cache-line-sized block per set: ways_ 32-bit tags + Meta.
+    std::uint32_t bytes = ways_ * 4 + 16;
+    stride_ = (bytes + 63) & ~63u;
+    raw_.assign(sets_ * stride_ + 64, 0);
+    const std::uintptr_t p = reinterpret_cast<std::uintptr_t>(raw_.data());
+    base_ = raw_.data() + ((64 - (p & 63)) & 63);
+    if (invalidate_filter)
+        sig_.assign(sets_, 0);
+    flush();
+}
+
+void
+CacheLevel::resig(std::uint8_t *blk, std::uint64_t set)
+{
+    const std::uint32_t *tg = tags(blk);
+    std::uint32_t vm = meta(blk).valid;
+    std::uint64_t m = 0;
+    while (vm) {
+        const std::uint32_t w = static_cast<std::uint32_t>(
+            __builtin_ctz(vm));
+        vm &= vm - 1;
+        m |= sig_bit(tg[w]);
+    }
+    sig_[set] = m;
 }
 
 bool
-CacheLevel::lookup(std::uint64_t line)
+CacheLevel::lookup_scan(std::uint8_t *blk, std::uint64_t line)
 {
-    Way *set = &tags_[set_of(line) * ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].tag == line) {
-            set[w].stamp = ++clock_;
+    const std::uint32_t *tg = tags(blk);
+    Meta &m = meta(blk);
+    const std::uint32_t tag = tag_of(line);
+    // The MRU way (checked inline) just missed. Sets with two hot
+    // lines alternate between the top recency slots, so probe the
+    // second slot before the full walk.
+    const std::uint32_t w2 =
+        static_cast<std::uint32_t>((m.perm >> 4) & 0xF);
+    if (tg[w2] == tag) {
+        m.perm = perm_touch(m.perm, w2);
+        return true;
+    }
+    // A line is inserted only when absent, so it matches at most one
+    // way and the visit order of the valid-bit walk is immaterial.
+    std::uint32_t vm = m.valid;
+    while (vm) {
+        const std::uint32_t w = static_cast<std::uint32_t>(
+            __builtin_ctz(vm));
+        vm &= vm - 1;
+        if (tg[w] == tag) {
+            m.perm = perm_touch(m.perm, w);
             return true;
         }
     }
@@ -55,55 +100,117 @@ void
 CacheLevel::insert(std::uint64_t line, std::uint32_t way_limit,
                    bool cpu_fill)
 {
-    Way *set = &tags_[set_of(line) * ways_];
-    const std::uint32_t limit =
-        (way_limit == 0 || way_limit > ways_) ? ways_ : way_limit;
+    std::uint8_t *blk = block(set_of(line));
+    const std::uint32_t *tg = tags(blk);
+    Meta &m = meta(blk);
+    const std::uint32_t tag = tag_of(line);
 
-    // Already present (e.g.\ DevWrite to a CPU-resident line): refresh.
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].tag == line) {
-            set[w].stamp = ++clock_;
-            set[w].cpu = cpu_fill;
+    // Already present (e.g.\ DevWrite to a CPU-resident line): refresh
+    // recency and the demand-filled flag. MRU first — NIC descriptor
+    // lines are rewritten back-to-back (8 descriptors per line), and
+    // perm_touch of the MRU way is the identity.
+    const std::uint32_t mru = static_cast<std::uint32_t>(m.perm & 0xF);
+    if (PMILL_LIKELY(tg[mru] == tag)) {
+        m.cpu = static_cast<std::uint16_t>(
+            cpu_fill ? m.cpu | (1u << mru) : m.cpu & ~(1u << mru));
+        return;
+    }
+    std::uint32_t vm = m.valid & ~(1u << mru);
+    while (vm) {
+        const std::uint32_t w = static_cast<std::uint32_t>(
+            __builtin_ctz(vm));
+        vm &= vm - 1;
+        if (tg[w] == tag) {
+            m.perm = perm_touch(m.perm, w);
+            m.cpu = static_cast<std::uint16_t>(
+                cpu_fill ? m.cpu | (1u << w) : m.cpu & ~(1u << w));
             return;
         }
     }
 
+    insert_absent(line, way_limit, cpu_fill);
+}
+
+void
+CacheLevel::insert_absent(std::uint64_t line, std::uint32_t way_limit,
+                          bool cpu_fill)
+{
+    // Contract: the line is not present (the caller's lookup just
+    // returned false, or insert()'s refresh scan found nothing), so
+    // only victim selection remains.
+    const std::uint64_t s = set_of(line);
+    std::uint8_t *blk = block(s);
+    Meta &m = meta(blk);
+    const std::uint32_t limit =
+        (way_limit == 0 || way_limit > ways_) ? ways_ : way_limit;
+    const std::uint32_t limit_mask = (1u << limit) - 1u;
+    PMILL_ASSERT((line >> tag_shift_) < kInvalidTag,
+                 "simulated address exceeds the 32-bit tag range");
+
     // Victim priority: invalid > LRU streaming line > LRU overall.
-    int victim = -1;
-    std::uint32_t best_stamp = ~0u;
-    for (std::uint32_t w = 0; w < limit; ++w) {
-        if (!set[w].valid) {
-            victim = static_cast<int>(w);
-            break;
-        }
-        if (!set[w].cpu && set[w].stamp < best_stamp) {
-            best_stamp = set[w].stamp;
-            victim = static_cast<int>(w);
-        }
-    }
-    if (victim < 0) {
-        best_stamp = ~0u;
-        for (std::uint32_t w = 0; w < limit; ++w) {
-            if (set[w].stamp < best_stamp) {
-                best_stamp = set[w].stamp;
-                victim = static_cast<int>(w);
+    // "First invalid way in index order" is ctz of the inverted valid
+    // mask; the recency walks below only run with every candidate way
+    // valid, exactly as in the reference scan (which breaks out at the
+    // first invalid way). The LRU-most candidate in the permutation is
+    // exactly the minimum-stamp candidate of the stamped model.
+    std::uint32_t victim = 0;
+    const std::uint32_t invalid = ~m.valid & limit_mask;
+    if (invalid) {
+        victim = static_cast<std::uint32_t>(__builtin_ctz(invalid));
+    } else {
+        std::uint32_t cand = ~m.cpu & limit_mask;
+        if (!cand)
+            cand = limit_mask;
+        for (std::uint32_t i = ways_; i-- > 0;) {
+            const std::uint32_t w =
+                static_cast<std::uint32_t>((m.perm >> (4 * i)) & 0xF);
+            if ((cand >> w) & 1u) {
+                victim = w;
+                break;
             }
         }
     }
-    Way &v = set[static_cast<std::uint32_t>(victim)];
-    v.tag = line;
-    v.valid = true;
-    v.stamp = ++clock_;
-    v.cpu = cpu_fill;
+
+    tags(blk)[victim] = tag_of(line);
+    m.valid = static_cast<std::uint16_t>(m.valid | (1u << victim));
+    m.cpu = static_cast<std::uint16_t>(
+        cpu_fill ? m.cpu | (1u << victim) : m.cpu & ~(1u << victim));
+    m.perm = perm_touch(m.perm, victim);
+    if (!sig_.empty()) {
+        if (invalid)
+            sig_[s] |= sig_bit(tag_of(line));
+        else
+            resig(blk, s);  // the evicted victim's tag left the set
+    }
 }
 
 void
 CacheLevel::invalidate(std::uint64_t line)
 {
-    Way *set = &tags_[set_of(line) * ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].tag == line) {
-            set[w].valid = false;
+    const std::uint64_t s = set_of(line);
+    const std::uint32_t tag = tag_of(line);
+    // Filtered miss: the signature covers every valid tag, so a clear
+    // bit proves absence without touching the set block at all (the
+    // common case — device writes land on lines the core caches never
+    // loaded).
+    if (!sig_.empty() && !(sig_[s] & sig_bit(tag)))
+        return;
+    std::uint8_t *blk = block(s);
+    std::uint32_t *tg = tags(blk);
+    Meta &m = meta(blk);
+    std::uint32_t vm = m.valid;
+    while (vm) {
+        const std::uint32_t w = static_cast<std::uint32_t>(
+            __builtin_ctz(vm));
+        vm &= vm - 1;
+        if (tg[w] == tag) {
+            // The way keeps its recency slot; the invalid-first victim
+            // rule reuses it (and re-MRUs it) on the next fill, just
+            // as the stamped model reused the first invalid way.
+            m.valid = static_cast<std::uint16_t>(m.valid & ~(1u << w));
+            tg[w] = kInvalidTag;
+            if (!sig_.empty())
+                resig(blk, s);
             return;
         }
     }
@@ -112,34 +219,144 @@ CacheLevel::invalidate(std::uint64_t line)
 void
 CacheLevel::flush()
 {
-    for (auto &w : tags_)
-        w = Way{};
-    clock_ = 0;
+    for (std::uint64_t s = 0; s < sets_; ++s) {
+        std::uint8_t *blk = block(s);
+        std::uint32_t *tg = tags(blk);
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            tg[w] = kInvalidTag;
+        meta(blk) = Meta{kIdentityPerm, 0, 0};
+    }
+    if (!sig_.empty())
+        sig_.assign(sets_, 0);
 }
 
-TlbModel::TlbModel(std::uint32_t entries) : entries_(entries) {}
+TlbModel::TlbModel(std::uint32_t entries) : entries_(entries)
+{
+    std::uint32_t cap = 16;
+    while (cap < entries * 4)
+        cap <<= 1;
+    slot_page_.assign(cap, kNoPage);
+    slot_idx_.assign(cap, 0);
+    slot_mask_ = cap - 1;
+}
+
+void
+TlbModel::table_insert(std::uint64_t page, std::uint32_t idx)
+{
+    std::uint32_t i = hash_page(page) & slot_mask_;
+    while (slot_page_[i] != kNoPage)
+        i = (i + 1) & slot_mask_;
+    slot_page_[i] = page;
+    slot_idx_[i] = idx;
+}
+
+void
+TlbModel::table_erase(std::uint64_t page)
+{
+    std::uint32_t i = hash_page(page) & slot_mask_;
+    while (slot_page_[i] != page)
+        i = (i + 1) & slot_mask_;
+    // Backward-shift deletion: walk the probe chain and pull entries
+    // whose home slot lies outside (i, j] back over the gap, so later
+    // probes never hit a hole mid-chain.
+    std::uint32_t j = i;
+    for (;;) {
+        slot_page_[i] = kNoPage;
+        for (;;) {
+            j = (j + 1) & slot_mask_;
+            if (slot_page_[j] == kNoPage)
+                return;
+            const std::uint32_t h = hash_page(slot_page_[j]) & slot_mask_;
+            const bool stays = (i <= j) ? (i < h && h <= j)
+                                        : (i < h || h <= j);
+            if (!stays)
+                break;
+        }
+        slot_page_[i] = slot_page_[j];
+        slot_idx_[i] = slot_idx_[j];
+        i = j;
+    }
+}
+
+void
+TlbModel::unlink(std::uint32_t idx)
+{
+    // Callers never unlink the head, so e.prev is always a live link;
+    // e.next is only dereferenced when idx is not the tail.
+    const Entry &e = entries_[idx];
+    entries_[e.prev].next = e.next;
+    if (idx == tail_)
+        tail_ = e.prev;
+    else
+        entries_[e.next].prev = e.prev;
+}
+
+void
+TlbModel::push_front(std::uint32_t idx)
+{
+    Entry &e = entries_[idx];
+    e.next = head_;
+    entries_[head_].prev = idx;
+    head_ = idx;
+}
 
 bool
-TlbModel::access(std::uint64_t page)
+TlbModel::access_slow(std::uint64_t page)
 {
-    Entry *victim = &entries_[0];
-    for (auto &e : entries_) {
-        if (e.valid && e.page == page) {
-            e.stamp = ++clock_;
+    // The inline head check just missed. Translation streams commonly
+    // alternate between two pages (packet data vs.\ mbuf metadata), so
+    // probe the second recency entry before paying for the hash find.
+    // Linked entries are always valid; head_ != tail_ means there are
+    // at least two of them.
+    const Entry &h = entries_[head_];
+    if (h.valid && head_ != tail_) {
+        const std::uint32_t second = h.next;
+        if (entries_[second].page == page) {
+            unlink(second);
+            push_front(second);
             return true;
         }
     }
-    for (auto &e : entries_) {
-        if (!e.valid) {
-            victim = &e;
-            break;
+
+    std::uint32_t probe = hash_page(page) & slot_mask_;
+    while (slot_page_[probe] != kNoPage) {
+        if (slot_page_[probe] == page) {
+            // Hit somewhere behind the head: refresh recency, exactly
+            // as the stamp update of the scanning model would.
+            const std::uint32_t idx = slot_idx_[probe];
+            if (idx != head_) {
+                unlink(idx);
+                push_front(idx);
+            }
+            return true;
         }
-        if (e.stamp < victim->stamp)
-            victim = &e;
+        probe = (probe + 1) & slot_mask_;
     }
-    victim->page = page;
-    victim->valid = true;
-    victim->stamp = ++clock_;
+
+    // Miss. Victim: first never-used entry in array order (== the
+    // fill cursor), else the least-recently-touched (== list tail).
+    std::uint32_t idx;
+    if (fill_ < entries_.size()) {
+        idx = fill_++;
+        Entry &e = entries_[idx];
+        e.valid = true;
+        if (idx == 0) {
+            head_ = tail_ = idx;
+        } else {
+            e.next = head_;
+            entries_[head_].prev = idx;
+            head_ = idx;
+        }
+    } else {
+        idx = tail_;
+        table_erase(entries_[idx].page);
+        if (idx != head_) {
+            unlink(idx);
+            push_front(idx);
+        }
+    }
+    entries_[idx].page = page;
+    table_insert(page, idx);
     return false;
 }
 
@@ -148,29 +365,34 @@ TlbModel::flush()
 {
     for (auto &e : entries_)
         e = Entry{};
-    clock_ = 0;
+    slot_page_.assign(slot_page_.size(), kNoPage);
+    head_ = tail_ = fill_ = 0;
 }
 
 CacheHierarchy::CacheHierarchy(const CacheConfig &cfg)
     : cfg_(cfg),
-      l1_(cfg.l1_size, cfg.l1_ways),
-      l2_(cfg.l2_size, cfg.l2_ways),
+      l1_(cfg.l1_size, cfg.l1_ways, /*invalidate_filter=*/true),
+      l2_(cfg.l2_size, cfg.l2_ways, /*invalidate_filter=*/true),
       llc_(cfg.llc_size, cfg.llc_ways),
       tlb_(cfg.tlb_entries)
 {
 }
 
 AccessResult
-CacheHierarchy::access(Addr addr, std::uint32_t size, AccessType type)
+CacheHierarchy::access_range(std::uint64_t first, std::uint64_t last,
+                             AccessType type)
 {
-    PMILL_ASSERT(size > 0, "zero-size access");
-    const std::uint64_t first = line_of(addr);
-    const std::uint64_t last = line_of(addr + size - 1);
-
     AccessResult total;
     for (std::uint64_t ln = first; ln <= last; ++ln) {
-        AccessResult r =
-            access_line(ln, ln * kCacheLineBytes / kPageBytes, type);
+        // Hide the host-cache miss on the next set block (the tag
+        // arrays of the larger levels dwarf the host's L1/L2) behind
+        // this line's model work.
+        if (ln < last) {
+            llc_.host_prefetch(ln + 1);
+            if (type == AccessType::kDevWrite)
+                l2_.host_prefetch(ln + 1);
+        }
+        AccessResult r = access_line(ln, ln / kLinesPerPage, type);
         total.core_cycles += r.core_cycles;
         total.wall_ns += r.wall_ns;
         if (r.level > total.level)
@@ -180,73 +402,53 @@ CacheHierarchy::access(Addr addr, std::uint32_t size, AccessType type)
 }
 
 AccessResult
-CacheHierarchy::access_line(std::uint64_t line, std::uint64_t page,
-                            AccessType type)
+CacheHierarchy::cpu_line_miss(std::uint64_t line, bool is_load,
+                              AccessResult r)
 {
-    AccessResult r;
+    if (is_load)
+        ++stats_.l1_load_misses;
+    else
+        ++stats_.l1_store_misses;
 
-    const bool skip_tlb = (type == AccessType::kDevWrite ||
-                           type == AccessType::kDevRead ||
-                           type == AccessType::kPrefetch);
+    r.core_cycles += cfg_.l2_cycles;
+    if (l2_.lookup(line)) {
+        l1_.insert_absent(line);
+        r.level = HitLevel::kL2;
+        return r;
+    }
+    if (is_load)
+        ++stats_.l2_load_misses;
+    else
+        ++stats_.l2_store_misses;
 
-    if (!skip_tlb && cfg_.tlb_enable && !tlb_.access(page)) {
-        ++stats_.tlb_misses;
-        r.wall_ns += cfg_.tlb_miss_ns;
+    r.wall_ns += cfg_.llc_ns;
+    if (llc_.lookup(line)) {
+        l2_.insert_absent(line);
+        l1_.insert_absent(line);
+        r.level = HitLevel::kLlc;
+        return r;
+    }
+    if (is_load) {
+        ++stats_.llc_load_misses;
+        if (miss_hook_)
+            miss_hook_(miss_ctx_, line * kCacheLineBytes);
+    } else {
+        ++stats_.llc_store_misses;
     }
 
+    r.wall_ns += cfg_.dram_ns;
+    llc_.insert_absent(line);
+    l2_.insert_absent(line);
+    l1_.insert_absent(line);
+    r.level = HitLevel::kDram;
+    return r;
+}
+
+AccessResult
+CacheHierarchy::device_line(std::uint64_t line, AccessType type)
+{
+    AccessResult r;
     switch (type) {
-      case AccessType::kLoad:
-      case AccessType::kStore: {
-        const bool is_load = (type == AccessType::kLoad);
-        if (is_load)
-            ++stats_.loads;
-        else
-            ++stats_.stores;
-
-        r.core_cycles += cfg_.l1_cycles;
-        if (l1_.lookup(line)) {
-            r.level = HitLevel::kL1;
-            return r;
-        }
-        if (is_load)
-            ++stats_.l1_load_misses;
-        else
-            ++stats_.l1_store_misses;
-
-        r.core_cycles += cfg_.l2_cycles;
-        if (l2_.lookup(line)) {
-            l1_.insert(line);
-            r.level = HitLevel::kL2;
-            return r;
-        }
-        if (is_load)
-            ++stats_.l2_load_misses;
-        else
-            ++stats_.l2_store_misses;
-
-        r.wall_ns += cfg_.llc_ns;
-        if (llc_.lookup(line)) {
-            l2_.insert(line);
-            l1_.insert(line);
-            r.level = HitLevel::kLlc;
-            return r;
-        }
-        if (is_load) {
-            ++stats_.llc_load_misses;
-            if (miss_hook_)
-                miss_hook_(line * kCacheLineBytes);
-        } else {
-            ++stats_.llc_store_misses;
-        }
-
-        r.wall_ns += cfg_.dram_ns;
-        llc_.insert(line);
-        l2_.insert(line);
-        l1_.insert(line);
-        r.level = HitLevel::kDram;
-        return r;
-      }
-
       case AccessType::kDevWrite: {
         ++stats_.dev_writes;
         // DDIO write: the line is updated/allocated in the LLC only,
@@ -266,10 +468,10 @@ CacheHierarchy::access_line(std::uint64_t line, std::uint64_t page,
         if (!l1_.lookup(line)) {
             if (!l2_.lookup(line)) {
                 if (!llc_.lookup(line))
-                    llc_.insert(line, 0, /*cpu_fill=*/false);
-                l2_.insert(line);
+                    llc_.insert_absent(line, 0, /*cpu_fill=*/false);
+                l2_.insert_absent(line);
             }
-            l1_.insert(line);
+            l1_.insert_absent(line);
         }
         r.level = HitLevel::kL1;
         return r;
@@ -287,6 +489,9 @@ CacheHierarchy::access_line(std::uint64_t line, std::uint64_t page,
         }
         return r;
       }
+
+      default:
+        break;
     }
     panic("unreachable access type");
 }

@@ -13,15 +13,26 @@
  * (LLC/DRAM path) runs at a fixed 2.4 GHz:
  *  - core_cycles: L1/L2 access time, which scales with core frequency;
  *  - wall_ns: LLC/DRAM/TLB time, fixed in nanoseconds.
+ *
+ * Host-side hot path: access() is the most frequently executed
+ * function in the whole simulator (every simulated byte range flows
+ * through it), so the common case — a single-line CPU load/store that
+ * hits the MRU way of L1 behind an MRU TLB entry — is fully inline in
+ * this header and never enters a set scan. The MRU filters are pure
+ * host-side accelerators: a hit through the filter performs exactly
+ * the state transition (LRU stamp refresh off the shared clock) that
+ * the full scan would, so every simulated counter and every future
+ * replacement decision is bit-identical to the scanning
+ * implementation. Miss continuations live in cache.cc.
  */
 
 #ifndef PMILL_MEM_CACHE_HH
 #define PMILL_MEM_CACHE_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "src/common/log.hh"
 #include "src/common/types.hh"
 
 namespace pmill {
@@ -101,16 +112,57 @@ struct MemStats {
 /**
  * One cache level: set-associative, LRU, write-allocate, writeback.
  * Tag state only (no data); SimMemory holds the actual bytes.
+ *
+ * The modeled semantics are those of the straightforward tag store —
+ * per-way {tag, LRU stamp off a shared clock, valid, demand-filled}
+ * with full way scans. The host representation is an exact compaction
+ * of that into one cache-line-sized block per set:
+ *  - tags are stored as the 32-bit tag proper (line >> log2(sets);
+ *    the set-index bits are implied), injective for any simulated
+ *    address below 2^(32 + log2(sets)), so compares are identical;
+ *  - the per-way LRU stamps are replaced by a 16-nibble recency
+ *    permutation word (nibble 0 = MRU way, nibble ways-1 = LRU way).
+ *    Stamps are only ever compared between ways of the same set, and
+ *    they are unique and assigned in touch order, so "way with the
+ *    minimum stamp among candidates" is exactly "candidate closest to
+ *    the permutation's LRU end" — every hit refresh and every victim
+ *    choice is bit-identical to the stamped implementation;
+ *  - valid and demand-filled become per-set bitmasks, making "first
+ *    invalid way in index order" a ctz.
+ * A lookup, insert, or invalidate therefore touches one line of host
+ * memory per set (two for 16-way levels), which is what keeps several
+ * per-core LLC tag arrays from thrashing the host's own cache.
  */
 class CacheLevel {
   public:
-    CacheLevel(std::uint64_t size_bytes, std::uint32_t ways);
+    /**
+     * @p invalidate_filter enables a per-set tag-signature side array
+     * consulted by invalidate(): bit (tag & 63) is set for every valid
+     * way, so a clear bit proves absence and skips loading the set
+     * block entirely. Pure host-side accelerator (no false negatives;
+     * a false positive just falls through to the scan, which finds
+     * nothing and changes nothing). Worth its upkeep only on levels
+     * that receive invalidations — L1/L2 under device writes — so the
+     * LLC leaves it off.
+     */
+    CacheLevel(std::uint64_t size_bytes, std::uint32_t ways,
+               bool invalidate_filter = false);
 
     /**
      * Look up @p line; on hit, refresh LRU state.
      * @return true on hit.
      */
-    bool lookup(std::uint64_t line);
+    bool
+    lookup(std::uint64_t line)
+    {
+        std::uint8_t *blk = block(set_of(line));
+        Meta &m = meta(blk);
+        const std::uint32_t mru = static_cast<std::uint32_t>(m.perm & 0xF);
+        if (PMILL_LIKELY(tags(blk)[mru] == tag_of(line))) {
+            return true;  // already MRU: the refresh is a no-op
+        }
+        return lookup_scan(blk, line);
+    }
 
     /**
      * Insert @p line, evicting the LRU way among the first
@@ -125,52 +177,187 @@ class CacheLevel {
     void insert(std::uint64_t line, std::uint32_t way_limit = 0,
                 bool cpu_fill = true);
 
+    /**
+     * insert() for a line the caller just proved absent with a failed
+     * lookup(): skips the already-present refresh scan. Every miss
+     * fill in the hierarchy walk uses this; only DevWrite (which
+     * inserts without a prior lookup) needs the full insert().
+     */
+    void insert_absent(std::uint64_t line, std::uint32_t way_limit = 0,
+                       bool cpu_fill = true);
+
     /** Remove @p line if present (device-write invalidation upstream). */
     void invalidate(std::uint64_t line);
 
     /** Drop all contents. */
     void flush();
 
+    /**
+     * Host-side hint: pull @p line 's set block toward the host cache.
+     * Pure prefetch — no simulated state is read or written.
+     */
+    void
+    host_prefetch(std::uint64_t line)
+    {
+        __builtin_prefetch(block(set_of(line)), 1);
+    }
+
     std::uint32_t ways() const { return ways_; }
     std::uint64_t num_sets() const { return sets_; }
 
   private:
-    struct Way {
-        std::uint64_t tag = ~0ull;
-        std::uint32_t stamp = 0;
-        bool valid = false;
-        bool cpu = false;  ///< demand-filled (scan-resistant)
+    /** Per-set metadata, living right after the set's tag array. */
+    struct Meta {
+        /// Recency permutation: nibble 0 holds the MRU way id, nibble
+        /// ways-1 the LRU way id. Nibbles at and above ways_ keep
+        /// their (unused, distinct) identity ids so the nibble-search
+        /// in perm_touch never matches a phantom way.
+        std::uint64_t perm;
+        std::uint16_t valid;  ///< valid-way bitmask
+        std::uint16_t cpu;    ///< demand-filled bitmask (scan-resistant)
     };
 
+    /// Identity permutation: nibble i = i.
+    static constexpr std::uint64_t kIdentityPerm = 0xFEDCBA9876543210ull;
+
+    /// Tag stored in invalid ways. Real tags are asserted strictly
+    /// below this on insert, so presence scans can compare every way
+    /// branchlessly (vectorizably) without consulting the valid mask:
+    /// an invalid way can never produce a match.
+    static constexpr std::uint32_t kInvalidTag = 0xFFFFFFFFu;
+
+    /** Move way @p w to the MRU end of @p perm (one nibble rotate). */
+    static std::uint64_t
+    perm_touch(std::uint64_t perm, std::uint32_t w)
+    {
+        // Locate w's nibble: XOR makes it the unique zero nibble, and
+        // the borrow of the per-nibble zero test only propagates
+        // upward, so the lowest flagged nibble is the true match.
+        const std::uint64_t x = perm ^ (0x1111111111111111ull * w);
+        const std::uint64_t zero = (x - 0x1111111111111111ull) & ~x &
+                                   0x8888888888888888ull;
+        const std::uint32_t p =
+            static_cast<std::uint32_t>(__builtin_ctzll(zero)) >> 2;
+        // Keep nibbles above p, shift nibbles below p up one, put w
+        // in front. Shift counts stay <= 60 for p <= 15.
+        const std::uint64_t lo = (1ull << (4 * p)) - 1;
+        const std::uint64_t hi = ~lo & ~(0xFull << (4 * p));
+        return (perm & hi) | ((perm & lo) << 4) | w;
+    }
+
+    /** Full way scan behind the MRU fast path (cache.cc). */
+    bool lookup_scan(std::uint8_t *blk, std::uint64_t line);
+
     std::uint64_t set_of(std::uint64_t line) const { return line & set_mask_; }
+
+    /** Tag proper: the line bits above the set index. Injective for
+     * simulated addresses below 2^(32 + log2(sets)) (asserted on
+     * insert), so 32-bit compares decide presence exactly. */
+    std::uint32_t
+    tag_of(std::uint64_t line) const
+    {
+        return static_cast<std::uint32_t>(line >> tag_shift_);
+    }
+
+    std::uint8_t *block(std::uint64_t s) { return base_ + s * stride_; }
+    std::uint32_t *tags(std::uint8_t *blk)
+    {
+        return reinterpret_cast<std::uint32_t *>(blk);
+    }
+    Meta &meta(std::uint8_t *blk)
+    {
+        return *reinterpret_cast<Meta *>(blk + ways_ * 4);
+    }
+
+    /** Recompute @p set 's signature from its valid way tags. */
+    void resig(std::uint8_t *blk, std::uint64_t set);
+
+    static std::uint64_t
+    sig_bit(std::uint32_t tag)
+    {
+        return 1ull << (tag & 63);
+    }
 
     std::uint64_t sets_;
     std::uint64_t set_mask_;
     std::uint32_t ways_;
-    std::vector<Way> tags_;   // sets_ x ways_
-    std::uint32_t clock_ = 0;
+    std::uint32_t tag_shift_;  // log2(sets_)
+    std::uint32_t stride_;     // bytes per set block (cache-line multiple)
+    std::vector<std::uint8_t> raw_;  // block storage + alignment slack
+    std::uint8_t *base_ = nullptr;   // 64-byte-aligned first block
+    std::vector<std::uint64_t> sig_;  // empty unless invalidate_filter
 };
 
 /**
  * Fully associative LRU TLB over 4 KiB pages.
+ *
+ * Modeled semantics are those of the straightforward implementation —
+ * linear scan for the hit, victim = first never-used entry in array
+ * order, else the least-recently-touched one. The host-side
+ * representation is an exact refactoring of that: a flat linear-probe
+ * page->entry table replaces the hit scan (same membership, so same
+ * hit/miss outcomes), a sequential fill cursor replaces the first-invalid scan
+ * (entries only ever become invalid via flush, so the never-used set
+ * is exactly a suffix), and an intrusive recency list replaces the
+ * min-stamp victim scan (touch order IS stamp order, and stamps are
+ * unique, so the list tail is exactly the unique min-stamp entry).
+ * The tlb_misses counter and every eviction decision are therefore
+ * bit-identical to the scanning model.
  */
 class TlbModel {
   public:
     explicit TlbModel(std::uint32_t entries);
 
     /** Touch @p page; @return true on hit. */
-    bool access(std::uint64_t page);
+    bool
+    access(std::uint64_t page)
+    {
+        // Most-recently-touched entry is always the list head.
+        const Entry &h = entries_[head_];
+        if (PMILL_LIKELY(h.valid && h.page == page))
+            return true;
+        return access_slow(page);
+    }
 
     void flush();
 
   private:
     struct Entry {
         std::uint64_t page = ~0ull;
-        std::uint32_t stamp = 0;
+        std::uint32_t prev = 0;
+        std::uint32_t next = 0;
         bool valid = false;
     };
+
+    /** Table lookup + recency maintenance + victim fill (cache.cc). */
+    bool access_slow(std::uint64_t page);
+
+    void unlink(std::uint32_t idx);
+    void push_front(std::uint32_t idx);
+
+    /// Empty-slot sentinel for the page table (no 4 KiB page maps to
+    /// the all-ones page number within the simulated address space).
+    static constexpr std::uint64_t kNoPage = ~0ull;
+
+    static std::uint32_t
+    hash_page(std::uint64_t page)
+    {
+        page *= 0x9E3779B97F4A7C15ull;
+        return static_cast<std::uint32_t>(page >> 32);
+    }
+
+    void table_insert(std::uint64_t page, std::uint32_t idx);
+    void table_erase(std::uint64_t page);
+
     std::vector<Entry> entries_;
-    std::uint32_t clock_ = 0;
+    /// Open-addressing page->entry table, <= 25% load so probe chains
+    /// stay short; a flat 4 KiB array beats a node-based map here.
+    std::vector<std::uint64_t> slot_page_;
+    std::vector<std::uint32_t> slot_idx_;
+    std::uint32_t slot_mask_ = 0;
+    std::uint32_t head_ = 0;  ///< most recently touched
+    std::uint32_t tail_ = 0;  ///< least recently touched
+    std::uint32_t fill_ = 0;  ///< next never-used entry index
 };
 
 /**
@@ -181,12 +368,33 @@ class CacheHierarchy {
     explicit CacheHierarchy(const CacheConfig &cfg = CacheConfig{});
 
     /**
+     * Diagnostic hook invoked on every LLC *load* miss with the
+     * missing line's address and the registered context pointer.
+     * Statically bound (plain function pointer, no std::function
+     * indirection on the per-line path); null (disabled) by default.
+     */
+    using LlcMissHook = void (*)(void *ctx, Addr line_addr);
+
+    /**
      * Perform an access of @p size bytes at simulated address @p addr.
      * Accesses spanning multiple cache lines walk each line. The
      * returned latency components are summed over lines; @p level is
      * the deepest level touched.
+     *
+     * Inline fast path: single-line CPU loads/stores (the vast
+     * majority of simulated accesses) resolve here; everything else
+     * takes the out-of-line continuations in cache.cc.
      */
-    AccessResult access(Addr addr, std::uint32_t size, AccessType type);
+    AccessResult
+    access(Addr addr, std::uint32_t size, AccessType type)
+    {
+        PMILL_ASSERT(size > 0, "zero-size access");
+        const std::uint64_t first = line_of(addr);
+        const std::uint64_t last = line_of(addr + size - 1);
+        if (PMILL_LIKELY(first == last))
+            return access_line(first, first / kLinesPerPage, type);
+        return access_range(first, last, type);
+    }
 
     /** Cumulative counters since construction (or last stats_reset). */
     const MemStats &stats() const { return stats_; }
@@ -199,20 +407,54 @@ class CacheHierarchy {
 
     const CacheConfig &config() const { return cfg_; }
 
-    /**
-     * Diagnostic hook invoked on every LLC *load* miss with the
-     * missing line's address. Used by tests/tools to attribute
-     * misses to memory regions; null (disabled) by default.
-     */
+    /** Install (or clear, with nullptr) the LLC load-miss hook. */
     void
-    set_llc_miss_hook(std::function<void(Addr)> hook)
+    set_llc_miss_hook(LlcMissHook hook, void *ctx = nullptr)
     {
-        miss_hook_ = std::move(hook);
+        miss_hook_ = hook;
+        miss_ctx_ = ctx;
     }
 
   private:
-    AccessResult access_line(std::uint64_t line, std::uint64_t page,
-                             AccessType type);
+    /**
+     * One line-granular walk. The L1-hit path is inline; misses and
+     * device/prefetch accesses continue out of line.
+     */
+    AccessResult
+    access_line(std::uint64_t line, std::uint64_t page, AccessType type)
+    {
+        if (PMILL_LIKELY(type == AccessType::kLoad ||
+                         type == AccessType::kStore)) {
+            AccessResult r;
+            if (cfg_.tlb_enable && PMILL_UNLIKELY(!tlb_.access(page))) {
+                ++stats_.tlb_misses;
+                r.wall_ns += cfg_.tlb_miss_ns;
+            }
+            const bool is_load = (type == AccessType::kLoad);
+            if (is_load)
+                ++stats_.loads;
+            else
+                ++stats_.stores;
+            r.core_cycles += cfg_.l1_cycles;
+            if (PMILL_LIKELY(l1_.lookup(line))) {
+                r.level = HitLevel::kL1;
+                return r;
+            }
+            return cpu_line_miss(line, is_load, r);
+        }
+        return device_line(line, type);
+    }
+
+    /** L1-miss continuation of the CPU load/store walk (cache.cc). */
+    AccessResult cpu_line_miss(std::uint64_t line, bool is_load,
+                               AccessResult r);
+
+    /** DevWrite / DevRead / Prefetch walk (cache.cc). */
+    AccessResult device_line(std::uint64_t line, AccessType type);
+
+    /** Multi-line walk, line order preserved (cache.cc). */
+    AccessResult access_range(std::uint64_t first, std::uint64_t last,
+                              AccessType type);
 
     CacheConfig cfg_;
     CacheLevel l1_;
@@ -220,7 +462,8 @@ class CacheHierarchy {
     CacheLevel llc_;
     TlbModel tlb_;
     MemStats stats_;
-    std::function<void(Addr)> miss_hook_;
+    LlcMissHook miss_hook_ = nullptr;
+    void *miss_ctx_ = nullptr;
 };
 
 } // namespace pmill

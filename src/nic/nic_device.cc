@@ -133,6 +133,16 @@ NicDevice::next_cqe_time(std::uint32_t queue) const
 }
 
 bool
+NicDevice::tx_idle() const
+{
+    for (const Queue &q : queues_) {
+        if (!q.tx_pending.empty())
+            return false;
+    }
+    return true;
+}
+
+bool
 NicDevice::replenish(std::uint32_t queue, const RxDescriptor &desc)
 {
     return queues_[queue].rx_free.push(desc);
@@ -175,12 +185,20 @@ NicDevice::register_metrics(MetricsRegistry &reg,
 bool
 NicDevice::post_tx(std::uint32_t queue, const TxDescriptor &desc)
 {
-    return queues_[queue].tx_pending.push(desc);
+    Ring<TxDescriptor> &pending = queues_[queue].tx_pending;
+    const bool was_empty = pending.empty();
+    const bool ok = pending.push(desc);
+    if (ok && was_empty)
+        tx_next_done_ = 0;
+    return ok;
 }
 
 void
 NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out)
 {
+    if (now < tx_next_done_)
+        return;
+
     // Round-robin across queues while any head frame can finish
     // serializing by `now`.
     bool progress = true;
@@ -228,6 +246,25 @@ NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out)
             progress = true;
         }
     }
+
+    // Cache the earliest completion the remaining heads could reach.
+    // The estimates use the final pipe state of this pass; any later
+    // pass only advances pcie_tx_free_/wire_tx_free_, so these are
+    // lower bounds and the early-out above is exact.
+    TimeNs next = std::numeric_limits<double>::infinity();
+    for (const auto &q : queues_) {
+        if (q.tx_pending.empty())
+            continue;
+        const TxDescriptor &head = q.tx_pending.front();
+        const double pcie_ns =
+            static_cast<double>(head.len + cfg_.pcie_pkt_overhead_bytes) /
+            cfg_.pcie_bytes_per_sec * 1e9;
+        const TimeNs dma_done =
+            std::max(pcie_tx_free_, head.post_ns) + pcie_ns;
+        const TimeNs wire_start = std::max(dma_done, wire_tx_free_);
+        next = std::min(next, wire_start + wire_time_ns(head.len));
+    }
+    tx_next_done_ = next;
 }
 
 } // namespace pmill

@@ -175,6 +175,9 @@ class NicDevice {
     /** Peek the arrival time of the next pending CQE (or +inf). */
     TimeNs next_cqe_time(std::uint32_t queue) const;
 
+    /** True when no queue has frames waiting to serialize out. */
+    bool tx_idle() const;
+
     /** Driver-side: post a free buffer to @p queue 's RX ring. */
     bool replenish(std::uint32_t queue, const RxDescriptor &desc);
 
@@ -257,6 +260,13 @@ class NicDevice {
     TimeNs pcie_rx_free_ = 0;  ///< next instant the RX PCIe pipe frees
     TimeNs pcie_tx_free_ = 0;
     TimeNs wire_tx_free_ = 0;  ///< next instant the TX wire frees
+    /// Lower bound on the next TX completion time, computed from the
+    /// queue heads at the end of each drain pass. Departure estimates
+    /// only grow as the PCIe/wire pipes advance, so a drain_tx() call
+    /// before this instant is provably a no-op and returns
+    /// immediately. Reset when a post lands on a previously empty
+    /// queue (a fresh head may beat the cached bound).
+    TimeNs tx_next_done_ = 0;
 };
 
 } // namespace pmill

@@ -481,15 +481,81 @@ Engine::step_core(Core &core)
     }
 }
 
+bool
+Engine::can_idle_spin() const
+{
+    // Tracing stamps per-step tracer state; a live sampler snapshots
+    // counters at intermediate event times. Both observe individual
+    // spins, so replaying them in bulk is only done when neither can.
+    if (PMILL_TRACE_ON(tracer_.get()))
+        return false;
+    if (sampler_ && measuring_)
+        return false;
+    // Global quiescence is required, not just this core's: a pending
+    // CQE on ANY core means that core may process and post TX inside
+    // the window, and TX in flight means the per-event drain_all_tx
+    // calls being skipped might not be no-ops (a deferred drain would
+    // replenish RX descriptors later than the reference interleaving).
+    // With every queue dry and the wire idle, nothing can happen until
+    // the next generator arrival except empty polls.
+    for (const auto &c : cores_) {
+        for (const auto &bq : c->dps) {
+            if (nics_[bq.nic]->next_cqe_time(bq.queue) < kInf)
+                return false;
+        }
+    }
+    for (const auto &nic : nics_) {
+        if (!nic->tx_idle())
+            return false;
+    }
+    return true;
+}
+
+void
+Engine::idle_spin(Core &core, TimeNs until)
+{
+    ExecContext &ctx = *core.ctx;
+    const double empty_cycles = ctx.cost().poll_empty_cycles;
+    const std::uint32_t ndp =
+        static_cast<std::uint32_t>(core.dps.size());
+    // Each iteration is one empty step_core pass: the dry rx() calls
+    // it omits touch no simulated state, and the skip-to-CQE scan is a
+    // no-op by the can_idle_spin precondition.
+    while (core.clock < until) {
+        ctx.on_compute(empty_cycles, 10);
+        const TimeNs elapsed = ctx.elapsed_ns();
+        const TimeNs dt = elapsed - core.last_elapsed;
+        core.last_elapsed = elapsed;
+        PMILL_ASSERT(dt > 0, "core made no progress");
+        core.clock += dt;
+        core.rr_cursor = (core.rr_cursor + 1) % ndp;
+        if (core.poll_backoff_ns > 0) {
+            core.poll_wait_cycles +=
+                core.poll_backoff_ns * machine_.freq_ghz;
+            core.clock += core.poll_backoff_ns;
+        }
+    }
+}
+
 void
 Engine::drain_all_tx(TimeNs now)
 {
+    const bool tron = PMILL_TRACE_ON(tracer_.get());
     for (std::uint32_t n = 0; n < nics_.size(); ++n) {
         tx_scratch_.clear();
         nics_[n]->drain_tx(now, tx_scratch_);
+        if (tx_scratch_.empty())
+            continue;
+        // Per-drain counter flush: integer sums are order-independent,
+        // so accumulating locally and publishing once per burst is
+        // bit-identical to per-completion slot increments — it just
+        // keeps the hot loop out of the telemetry slots.
+        std::uint64_t pkts = 0;
+        std::uint64_t wire_bits = 0;
+        std::uint64_t frame_bits = 0;
         for (const TxCompletion &c : tx_scratch_) {
             queue_dp_[n][c.queue]->on_tx_complete(c);
-            if (PMILL_TRACE_ON(tracer_.get()) && !inflight_.empty()) {
+            if (PMILL_UNLIKELY(tron) && !inflight_.empty()) {
                 auto it = inflight_.find(arrival_key(c.arrival_ns));
                 if (it != inflight_.end()) {
                     tracer_->record(TraceEventKind::kTx, c.departure_ns,
@@ -497,17 +563,22 @@ Engine::drain_all_tx(TimeNs now)
                     inflight_.erase(it);
                 }
             }
-            m_tx_pkts_.inc();
-            m_tx_wire_bits_.add((c.len + kWireOverheadBytes) * 8ull);
+            ++pkts;
+            wire_bits += (c.len + kWireOverheadBytes) * 8ull;
             lat_interval_->record((c.departure_ns - c.arrival_ns) / 1000.0);
             if (measuring_) {
-                ++tx_pkts_;
-                tx_wire_bits_ += (c.len + kWireOverheadBytes) * 8ull;
-                tx_frame_bits_ += c.len * 8ull;
+                frame_bits += c.len * 8ull;
                 latency_->record((c.departure_ns - c.arrival_ns) / 1000.0);
                 if (tx_capture_)
                     tx_capture_(c.buf_host, c.len);
             }
+        }
+        m_tx_pkts_.add(pkts);
+        m_tx_wire_bits_.add(wire_bits);
+        if (measuring_) {
+            tx_pkts_ += pkts;
+            tx_wire_bits_ += wire_bits;
+            tx_frame_bits_ += frame_bits;
         }
     }
 }
@@ -602,10 +673,23 @@ Engine::run(const RunConfig &rc)
             break;
         maybe_start_measuring(t);
 
-        if (next_arrival <= next_core)
+        if (next_arrival <= next_core) {
             deliver_next(arrival_nic);
-        else
-            step_core(*cores_[core_idx]);
+        } else {
+            Core &core = *cores_[core_idx];
+            // Idle stretch: nothing can reach this core before the
+            // next generator arrival (capped at the measuring flip and
+            // run end so those trigger at their usual event times), so
+            // replay its empty polls without re-running the
+            // event-selection scans for each one.
+            TimeNs ff_until = std::min(next_arrival, end);
+            if (!measuring_)
+                ff_until = std::min(ff_until, warm_end);
+            if (ff_until > core.clock && can_idle_spin())
+                idle_spin(core, ff_until);
+            else
+                step_core(core);
+        }
 
         drain_all_tx(t);
         if (sampler_ && measuring_) {

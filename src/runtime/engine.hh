@@ -273,6 +273,26 @@ class Engine : public Actuator {
     /** Advance @p core by one poll iteration; returns its new clock. */
     void step_core(Core &core);
 
+    /**
+     * True when the system is quiescent (every queue on every core dry
+     * with no pending CQE, no TX in flight, tracing off, sampler not
+     * live), so nothing can happen before the next generator arrival
+     * except empty polls, and the main loop may replay a core's spins
+     * in idle_spin() without changing any simulated state.
+     */
+    bool can_idle_spin() const;
+
+    /**
+     * Replay @p core 's empty polls until its clock reaches @p until.
+     * Performs exactly the per-poll state updates of step_core on a
+     * dry queue — the same on_compute accumulation in the same order,
+     * the same clock arithmetic, the same round-robin advance — so the
+     * core's counters and clock are bit-identical to having spun
+     * through the main loop; it just skips the event-selection scans
+     * and no-op drains around each spin.
+     */
+    void idle_spin(Core &core, TimeNs until);
+
     /** Register the engine-level aggregate metrics (ctor helper). */
     void register_telemetry();
 

@@ -52,6 +52,16 @@ ColumnClass
 classify_column(const std::string &column)
 {
     const std::vector<std::string> toks = tokens_of(column);
+    // Simulated-equivalence columns ("eq_frames", "eq_p99_us"): any
+    // numeric change at all is a regression, so check before the
+    // latency/throughput tokens their names also contain.
+    if (has_token(toks, {"eq"}))
+        return ColumnClass::kExact;
+    // Host wall-clock measurements ("wall_ms", "host_Mpps"): noisy on
+    // shared runners; checked before the rate tokens so host
+    // throughput never gates like simulated throughput.
+    if (has_token(toks, {"wall", "host"}))
+        return ColumnClass::kHostWall;
     // Input axes are identical between runs by construction; exclude
     // them so a changed sweep shows up as a row mismatch, not a fake
     // throughput regression.
@@ -262,12 +272,26 @@ list_bench_artifacts(const std::string &dir)
     return names;
 }
 
+namespace {
+
+/** Gated direction of a kHostWall column: true = higher is better. */
+bool
+host_wall_higher_better(const std::string &column)
+{
+    return has_token(tokens_of(column),
+                     {"mpps", "kpps", "pps", "gbps", "ops", "rate",
+                      "speedup"});
+}
+
+} // namespace
+
 BenchDiffResult
 diff_bench_dirs(const std::string &base_dir, const std::string &cur_dir,
-                double threshold_pct)
+                double threshold_pct, double host_threshold_pct)
 {
     BenchDiffResult res;
     res.threshold_pct = threshold_pct;
+    res.host_threshold_pct = host_threshold_pct;
 
     for (const std::string &name : list_bench_artifacts(base_dir)) {
         BenchTable base, cur;
@@ -314,10 +338,24 @@ diff_bench_dirs(const std::string &base_dir, const std::string &cur_dir,
                 d.cls = cls;
                 const double denom = std::max(std::fabs(d.base), 1e-12);
                 d.pct = (d.cur - d.base) / denom * 100.0;
-                d.regression =
-                    cls == ColumnClass::kHigherBetter
-                        ? d.pct < -threshold_pct
-                        : d.pct > threshold_pct;
+                switch (cls) {
+                  case ColumnClass::kExact:
+                    d.regression = d.cur != d.base;
+                    break;
+                  case ColumnClass::kHostWall:
+                    d.regression =
+                        host_threshold_pct >= 0 &&
+                        (host_wall_higher_better(col)
+                             ? d.pct < -host_threshold_pct
+                             : d.pct > host_threshold_pct);
+                    break;
+                  case ColumnClass::kHigherBetter:
+                    d.regression = d.pct < -threshold_pct;
+                    break;
+                  default:
+                    d.regression = d.pct > threshold_pct;
+                    break;
+                }
                 if (d.regression)
                     ++res.num_regressions;
                 res.deltas.push_back(std::move(d));
@@ -353,10 +391,12 @@ BenchDiffResult::to_string(bool verbose) const
                          return std::fabs(a->pct) > std::fabs(b->pct);
                      });
     for (const Delta *d : shown) {
+        const char *verdict = d->regression ? "REGRESSION" : "ok";
+        if (d->cls == ColumnClass::kHostWall && host_threshold_pct < 0)
+            verdict = "info";  // wall-clock column, gate not armed
         t.row({d->bench, d->column, strprintf("%zu", d->row),
                strprintf("%.4g", d->base), strprintf("%.4g", d->cur),
-               strprintf("%+.2f%%", d->pct),
-               d->regression ? "REGRESSION" : "ok"});
+               strprintf("%+.2f%%", d->pct), verdict});
     }
     if (t.num_rows())
         out += t.to_string();

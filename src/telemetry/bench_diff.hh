@@ -29,6 +29,11 @@ enum class ColumnClass {
     kHigherBetter,    ///< throughput-like: a drop is a regression
     kLowerBetter,     ///< latency/miss-like: a rise is a regression
     kInformational,   ///< axes, labels, ratios — never gated
+    kExact,           ///< "eq"-prefixed: ANY numeric change regresses
+                      ///< (simulated-equivalence columns in host_perf)
+    kHostWall,        ///< "wall"/"host" wall-clock measurements: noisy
+                      ///< on shared runners, informational unless a
+                      ///< host threshold is explicitly given
 };
 
 /** Classify @p column by name tokens ("Thr(Gbps)" -> higher-better). */
@@ -73,6 +78,8 @@ struct BenchDiffResult {
     };
 
     double threshold_pct = 5.0;
+    /// Threshold for kHostWall columns; negative = informational only.
+    double host_threshold_pct = -1.0;
     std::vector<Delta> deltas;          ///< every gated comparison
     std::vector<std::string> missing;   ///< in base dir, not in current
     std::vector<std::string> errors;    ///< unreadable/mismatched tables
@@ -90,12 +97,19 @@ struct BenchDiffResult {
 
 /**
  * Compare every artifact of @p base_dir against @p cur_dir. A tracked
- * metric regressing by more than @p threshold_pct percent, a bench
- * missing from @p cur_dir, or a malformed artifact makes ok() false.
+ * metric regressing by more than @p threshold_pct percent, an exact
+ * ("eq") column changing at all, a bench missing from @p cur_dir, or
+ * a malformed artifact makes ok() false.
+ *
+ * Wall-clock ("wall"/"host") columns are compared but informational
+ * by default — bench runners are noisy hosts. Pass a non-negative
+ * @p host_threshold_pct to gate them (lower-is-better direction for
+ * time-like names, higher-is-better for rate-like names).
  */
 BenchDiffResult diff_bench_dirs(const std::string &base_dir,
                                 const std::string &cur_dir,
-                                double threshold_pct);
+                                double threshold_pct,
+                                double host_threshold_pct = -1.0);
 
 } // namespace pmill
 

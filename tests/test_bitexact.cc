@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bit-exactness gate for the simulated results.
+ *
+ * Host-side hot-path optimizations (MRU way filters, inline fast
+ * paths, devirtualization, counter batching, LTO builds) must never
+ * change what the simulator computes — only how fast it computes it.
+ * These tests run three fixed-seed end-to-end configurations and
+ * assert the full counter set (frames, perf-style LLC counters, TLB
+ * misses, latency percentiles, throughput, IPC) against checked-in
+ * values captured from the pre-optimization implementation. The
+ * floating-point expectations use EXPECT_EQ deliberately: the model
+ * is deterministic IEEE arithmetic in a fixed order, so any deviation
+ * at all means a semantic change, not noise.
+ *
+ * If a PR changes the *model* intentionally, regenerate these values
+ * and say so in the commit; if it only touches host performance, a
+ * failure here is a bug in that PR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/pmill.hh"
+
+namespace pmill {
+namespace {
+
+struct Expected {
+    std::uint64_t tx_pkts;
+    std::uint64_t llc_loads;
+    std::uint64_t llc_misses;
+    std::uint64_t loads;
+    std::uint64_t stores;
+    std::uint64_t tlb_misses;
+    double p50_us;
+    double p99_us;
+    double mean_us;
+    double thr_gbps;
+    double ipc;
+};
+
+RunResult
+run_fixed(const PipelineOpts &opts, std::uint32_t cores)
+{
+    Trace t = make_fixed_size_trace(512, 2048, 512);
+    MachineConfig m;
+    m.num_cores = cores;
+    Engine e(m, router_config(), opts, t);
+    RunConfig rc;
+    rc.offered_gbps = 70.0;
+    rc.warmup_us = 500;
+    rc.duration_us = 2000;
+    rc.sample_interval_us = 0;
+    return e.run(rc);
+}
+
+void
+expect_bitexact(const RunResult &r, const Expected &e)
+{
+    EXPECT_EQ(r.tx_pkts, e.tx_pkts);
+    EXPECT_EQ(r.mem.llc_loads(), e.llc_loads);
+    EXPECT_EQ(r.mem.llc_load_misses, e.llc_misses);
+    EXPECT_EQ(r.mem.loads, e.loads);
+    EXPECT_EQ(r.mem.stores, e.stores);
+    EXPECT_EQ(r.mem.tlb_misses, e.tlb_misses);
+    EXPECT_EQ(r.median_latency_us, e.p50_us);
+    EXPECT_EQ(r.p99_latency_us, e.p99_us);
+    EXPECT_EQ(r.mean_latency_us, e.mean_us);
+    EXPECT_EQ(r.throughput_gbps, e.thr_gbps);
+    EXPECT_EQ(r.ipc, e.ipc);
+}
+
+TEST(BitExact, VanillaRouterSingleCore)
+{
+    expect_bitexact(run_fixed(PipelineOpts::vanilla(), 1),
+                    {13328, 12093, 12093, 321507, 280223, 22173,
+                     311.22106793283046, 349.9407958984375,
+                     313.51653954234865, 28.575232, 1.786854890580202});
+}
+
+TEST(BitExact, PacketMillRouterSingleCore)
+{
+    expect_bitexact(run_fixed(PipelineOpts::packetmill(), 1),
+                    {26107, 0, 0, 448250, 365121, 14466,
+                     158.86445757282681, 159.20198367192197,
+                     156.30595738317936, 55.973407999999999,
+                     2.512788648007898});
+}
+
+TEST(BitExact, VanillaRouterRss4Cores)
+{
+    expect_bitexact(run_fixed(PipelineOpts::vanilla(), 4),
+                    {32653, 32655, 32651, 949302, 685669, 22472,
+                     0.31015608045789933, 0.96324477084847426,
+                     0.38563775410646584, 70.008032,
+                     1.3672230385050892});
+}
+
+} // namespace
+} // namespace pmill

@@ -15,6 +15,7 @@
 #include "src/mill/profile.hh"
 #include "src/mill/verify.hh"
 #include "src/runtime/experiments.hh"
+#include "src/tracing/tracer.hh"
 
 namespace pmill {
 namespace {
@@ -90,11 +91,18 @@ TEST(ProfileCapture, PopulatesMeasuredFields)
         rt->rule_hits.begin(), rt->rule_hits.end(), std::uint64_t{0});
     EXPECT_GT(total, 0u);
 
-    // Non-empty polls were observed, so the histogram has mass.
+    // Non-empty polls were observed, so the histogram has mass. The
+    // occupancy histogram is distilled from trace events, so a
+    // PMILL_TRACING_DISABLED build legitimately captures none (rule
+    // hits and element counters above still work there).
     const std::uint64_t polls = std::accumulate(
         p.burst_hist.begin(), p.burst_hist.end(), std::uint64_t{0});
-    EXPECT_GT(polls, 0u);
-    EXPECT_GT(p.occupancy_percentile(99.0), 0u);
+    if (Tracer::kCompiledIn) {
+        EXPECT_GT(polls, 0u);
+        EXPECT_GT(p.occupancy_percentile(99.0), 0u);
+    } else {
+        EXPECT_EQ(polls, 0u);  // bins exist, but no events fed them
+    }
 }
 
 TEST(ProfileCapture, DeterministicAcrossRuns)
