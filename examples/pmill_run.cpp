@@ -17,6 +17,14 @@
  *   --cores N           RSS cores (default 1)
  *   --nics N            NICs polled by core 0 (default 1)
  *   --size BYTES        fixed-size traffic instead of the campus trace
+ *   --workload SPEC     synthesize traffic instead of replaying a
+ *                       trace: an inline spec like
+ *                       "zipf:flows=1000000,skew=1.1,burst=8" or a
+ *                       spec file (see configs/workloads/). Kinds:
+ *                       uniform, zipf, churn, synflood, portscan.
+ *                       Prints generator and flow-table statistics
+ *                       after the run. Incompatible with --size and
+ *                       --verify (which replay traces).
  *   --duration US       measured interval (default 2500)
  *   --verify            check equivalence against the vanilla build
  *   --report            print the PacketMill optimization report
@@ -66,6 +74,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -82,7 +91,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <config.click> [--opt LEVEL] [--model M] "
                  "[--freq GHZ] [--offered GBPS] [--cores N] [--nics N] "
-                 "[--size BYTES] [--duration US] [--verify] [--report] "
+                 "[--size BYTES] [--workload SPEC] [--duration US] "
+                 "[--verify] [--report] "
                  "[--json] [--stats-json PATH] [--stats-csv PATH] "
                  "[--sample-interval-us N] [--trace-out PATH] "
                  "[--trace-jsonl PATH] [--trace-sample-rate R] "
@@ -187,6 +197,7 @@ main(int argc, char **argv)
     std::string trace_out_path, trace_jsonl_path;
     std::string profile_out_path, profile_in_path;
     std::string control_policy, decision_log_path;
+    std::string workload_arg;
     double load_step_us = 0.0, load_step_gbps = 0.0;
     double trace_rate = 1.0;
 
@@ -238,6 +249,8 @@ main(int argc, char **argv)
         } else if (a == "--size") {
             fixed_size = parse_u32_arg("--size", next(), 60, 1514,
                                        "a frame size in [60, 1514] bytes");
+        } else if (a == "--workload") {
+            workload_arg = next();
         } else if (a == "--duration") {
             duration_us =
                 parse_double_arg("--duration", next(), 0.0, 1e9,
@@ -315,6 +328,29 @@ main(int argc, char **argv)
                      "must be given together\n");
         return 2;
     }
+    const bool use_workload = !workload_arg.empty();
+    if (use_workload && fixed_size) {
+        std::fprintf(stderr,
+                     "pmill_run: --workload and --size are mutually "
+                     "exclusive (a workload defines its own sizes)\n");
+        return 2;
+    }
+    if (use_workload && do_verify) {
+        std::fprintf(stderr,
+                     "pmill_run: --verify replays a trace and cannot be "
+                     "combined with --workload\n");
+        return 2;
+    }
+
+    WorkloadSpec wspec;
+    if (use_workload) {
+        std::string werr;
+        if (!load_workload_spec(workload_arg, &wspec, &werr)) {
+            std::fprintf(stderr, "pmill_run: bad --workload: %s\n",
+                         werr.c_str());
+            return 2;
+        }
+    }
 
     std::ifstream in(config_path);
     if (!in) {
@@ -325,9 +361,10 @@ main(int argc, char **argv)
     ss << in.rdbuf();
     const std::string config = ss.str();
 
-    const Trace trace = fixed_size
-                            ? make_fixed_size_trace(fixed_size, 2048, 512)
-                            : default_campus_trace();
+    Trace trace;
+    if (!use_workload)
+        trace = fixed_size ? make_fixed_size_trace(fixed_size, 2048, 512)
+                           : default_campus_trace();
 
     MachineConfig machine;
     machine.freq_ghz = freq;
@@ -357,7 +394,11 @@ main(int argc, char **argv)
             std::printf("%s", plan.to_string().c_str());
     }
 
-    Engine engine(machine, config, opts, trace);
+    std::unique_ptr<Engine> engine_ptr =
+        use_workload
+            ? std::make_unique<Engine>(machine, config, opts, wspec)
+            : std::make_unique<Engine>(machine, config, opts, trace);
+    Engine &engine = *engine_ptr;
 
     std::unique_ptr<Controller> controller;
     if (!control_policy.empty()) {
@@ -549,7 +590,73 @@ main(int argc, char **argv)
     std::printf("machine:    %u core(s) @ %.1f GHz, %u NIC(s)\n", cores,
                 freq, nics);
     std::printf("offered:    %.1f Gbps (%s traffic)\n", offered,
-                fixed_size ? "fixed-size" : "campus-like");
+                use_workload ? "synthesized"
+                             : (fixed_size ? "fixed-size" : "campus-like"));
+    if (use_workload) {
+        std::printf("workload:   %s\n",
+                    engine.workload()->spec().to_string().c_str());
+        WorkloadStats ws;
+        std::uint64_t state = 0;
+        for (std::uint32_t n = 0; engine.workload(n); ++n) {
+            const WorkloadStats &s = engine.workload(n)->stats();
+            ws.frames += s.frames;
+            ws.bytes += s.bytes;
+            ws.flows_born += s.flows_born;
+            ws.flows_died += s.flows_died;
+            ws.syn_frames += s.syn_frames;
+            ws.fin_frames += s.fin_frames;
+            state += engine.workload(n)->state_bytes();
+        }
+        std::printf("generator:  %llu frames, %llu flows born / %llu "
+                    "died, %llu SYN / %llu FIN, %.1f MB flow state\n",
+                    static_cast<unsigned long long>(ws.frames),
+                    static_cast<unsigned long long>(ws.flows_born),
+                    static_cast<unsigned long long>(ws.flows_died),
+                    static_cast<unsigned long long>(ws.syn_frames),
+                    static_cast<unsigned long long>(ws.fin_frames),
+                    static_cast<double>(state) / 1e6);
+        // Stateful elements: occupancy and churn, summed over cores.
+        const std::vector<Element *> e0 = engine.pipeline(0).elements();
+        for (std::size_t ei = 0; ei < e0.size(); ++ei) {
+            FlowTableStats sum;
+            bool any = false;
+            for (std::uint32_t c = 0; c < engine.num_cores(); ++c) {
+                FlowTableStats st;
+                if (!engine.pipeline(c).elements()[ei]->flow_table_stats(
+                        &st))
+                    continue;
+                any = true;
+                sum.occupancy += st.occupancy;
+                sum.capacity += st.capacity;
+                sum.memory_bytes += st.memory_bytes;
+                sum.inserts += st.inserts;
+                sum.failed_inserts += st.failed_inserts;
+                sum.displacements += st.displacements;
+                sum.evictions += st.evictions;
+                sum.half_open += st.half_open;
+                if (st.max_kick_chain > sum.max_kick_chain)
+                    sum.max_kick_chain = st.max_kick_chain;
+            }
+            if (!any)
+                continue;
+            const std::string nm =
+                e0[ei]->name().empty() ? std::string(e0[ei]->class_name())
+                                       : e0[ei]->name();
+            std::printf(
+                "flow table: %s %llu/%llu entries (%llu half-open), "
+                "%llu inserts (%llu failed), %llu evictions, "
+                "%llu displacements (max chain %llu)\n",
+                nm.c_str(),
+                static_cast<unsigned long long>(sum.occupancy),
+                static_cast<unsigned long long>(sum.capacity),
+                static_cast<unsigned long long>(sum.half_open),
+                static_cast<unsigned long long>(sum.inserts),
+                static_cast<unsigned long long>(sum.failed_inserts),
+                static_cast<unsigned long long>(sum.evictions),
+                static_cast<unsigned long long>(sum.displacements),
+                static_cast<unsigned long long>(sum.max_kick_chain));
+        }
+    }
     std::printf("throughput: %.2f Gbps wire / %.2f Gbps goodput "
                 "(%.2f Mpps)\n",
                 r.throughput_gbps, r.goodput_gbps, r.mpps);

@@ -16,9 +16,109 @@
 
 namespace pmill {
 
+bool
+IdsCheck::configure(const std::vector<std::string> &args, std::string *err)
+{
+    for (const auto &[kw, val] : parse_keywords(args)) {
+        if (kw == "CONNTRACK" || kw.empty()) {
+            std::uint64_t v = 0;
+            if (!parse_uint(val, &v) || v == 0) {
+                if (err)
+                    *err = "IdsCheck: bad CONNTRACK '" + val + "'";
+                return false;
+            }
+            conntrack_capacity_ = static_cast<std::uint32_t>(v);
+        } else if (kw == "IDLE_TIMEOUT_MS") {
+            double t = 0;
+            if (!parse_double(val, &t) || t <= 0) {
+                if (err)
+                    *err = "IdsCheck: bad IDLE_TIMEOUT_MS '" + val + "'";
+                return false;
+            }
+            idle_timeout_ms_ = t;
+        } else {
+            if (err)
+                *err = "IdsCheck: unknown keyword " + kw;
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+IdsCheck::initialize(SimMemory &mem, std::string *)
+{
+    if (conntrack_capacity_ == 0)
+        return true;  // stateless mode
+    conns_ = std::make_unique<CuckooHash<FiveTuple, std::uint64_t>>(
+        mem, conntrack_capacity_);
+    const TimeNs timeout_ns = idle_timeout_ms_ * 1e6;
+    wheel_ = std::make_unique<TimerWheel<FiveTuple>>(timeout_ns / 8.0, 64);
+    return true;
+}
+
+void
+IdsCheck::age(TimeNs now, ExecContext &ctx)
+{
+    wheel_->advance(now, [&](const FiveTuple &key, TimeNs) -> TimeNs {
+        const auto v = conns_->lookup(key, &ctx);
+        if (!v)
+            return 0;  // already forgotten (FIN/RST)
+        const TimeNs last_seen_ns =
+            static_cast<double>(*v >> 16) * 1000.0;
+        const TimeNs timeout_ns = idle_timeout_ms_ * 1e6;
+        if (now - last_seen_ns < timeout_ns)
+            return last_seen_ns + timeout_ns;  // still live: re-arm
+        if ((*v & 0x3) == kCtHalfOpen)
+            --half_open_;
+        conns_->erase(key, &ctx);
+        ++evictions_;
+        ctx.on_compute(4, 10);
+        return 0;
+    });
+}
+
+void
+IdsCheck::track_tcp(const FiveTuple &key, std::uint8_t flags, TimeNs now,
+                    ExecContext &ctx)
+{
+    const auto cur = conns_->lookup(key, &ctx);
+    if (flags & (kTcpFlagFin | kTcpFlagRst)) {
+        if (cur) {
+            if ((*cur & 0x3) == kCtHalfOpen)
+                --half_open_;
+            conns_->erase(key, &ctx);
+        }
+    } else if (!cur) {
+        // Only a SYN may open state; mid-flow packets of untracked
+        // connections pass unrecorded (pre-existing flows).
+        if ((flags & kTcpFlagSyn) && !(flags & kTcpFlagAck)) {
+            const std::uint64_t us =
+                static_cast<std::uint64_t>(now / 1000.0);
+            if (conns_->insert(key, (us << 16) | kCtHalfOpen, &ctx)) {
+                ++half_open_;
+                wheel_->schedule(key, now + idle_timeout_ms_ * 1e6);
+            }
+        }
+    } else {
+        // Established (any non-SYN traffic completes the handshake);
+        // refresh last-seen for the ager.
+        const std::uint64_t us = static_cast<std::uint64_t>(now / 1000.0);
+        if ((*cur & 0x3) == kCtHalfOpen && (flags & kTcpFlagSyn) == 0)
+            --half_open_;
+        const std::uint64_t state = (flags & kTcpFlagSyn)
+                                        ? (*cur & 0x3)
+                                        : kCtEstablished;
+        conns_->insert(key, (us << 16) | state, &ctx);
+    }
+    ctx.on_compute(10, 25);
+}
+
 void
 IdsCheck::process(PacketBatch &batch, ExecContext &ctx)
 {
+    if (conns_ && batch.count > 0)
+        age(batch[0].arrival_ns, ctx);
     for (std::uint32_t i = 0; i < batch.count; ++i) {
         PacketHandle &h = batch[i];
         PacketView v = view(h, ctx);
@@ -79,8 +179,37 @@ IdsCheck::process(PacketBatch &batch, ExecContext &ctx)
             h.dropped = true;
             continue;
         }
+        if (conns_ && ip->proto == kIpProtoTcp) {
+            const auto *tcp =
+                reinterpret_cast<const TcpHeader *>(h.data + l4);
+            FiveTuple key{};
+            key.src_ip = ip->src();
+            key.dst_ip = ip->dst();
+            key.src_port = tcp->src_port();
+            key.dst_port = tcp->dst_port();
+            key.proto = ip->proto;
+            track_tcp(key, tcp->flags, h.arrival_ns, ctx);
+        }
         v.write(Field::kL4Offset, l4);
     }
+}
+
+bool
+IdsCheck::flow_table_stats(FlowTableStats *out) const
+{
+    if (!conns_)
+        return false;
+    const CuckooStats &cs = conns_->stats();
+    out->occupancy = conns_->size();
+    out->capacity = conns_->capacity();
+    out->memory_bytes = conns_->memory_bytes();
+    out->inserts = cs.inserts;
+    out->failed_inserts = cs.failed_inserts;
+    out->displacements = cs.displacements;
+    out->max_kick_chain = cs.max_kick_chain;
+    out->evictions = evictions_;
+    out->half_open = half_open_;
+    return true;
 }
 
 void
@@ -170,6 +299,14 @@ Napt::configure(const std::vector<std::string> &args, std::string *err)
                 return false;
             }
             capacity_ = static_cast<std::uint32_t>(v);
+        } else if (kw == "IDLE_TIMEOUT_MS") {
+            double t = 0;
+            if (!parse_double(val, &t)) {
+                if (err)
+                    *err = "Napt: bad IDLE_TIMEOUT_MS '" + val + "'";
+                return false;
+            }
+            idle_timeout_ms_ = t;
         } else {
             if (err)
                 *err = "Napt: unknown keyword " + kw;
@@ -190,7 +327,31 @@ Napt::initialize(SimMemory &mem, std::string *)
     table_ =
         std::make_unique<CuckooHash<FiveTuple, std::uint64_t>>(mem,
                                                                capacity_);
+    if (idle_timeout_ms_ > 0) {
+        const TimeNs timeout_ns = idle_timeout_ms_ * 1e6;
+        wheel_ =
+            std::make_unique<TimerWheel<FiveTuple>>(timeout_ns / 8.0, 64);
+    }
     return true;
+}
+
+void
+Napt::age(TimeNs now, ExecContext &ctx)
+{
+    wheel_->advance(now, [&](const FiveTuple &key, TimeNs) -> TimeNs {
+        const auto v = table_->lookup(key, &ctx);
+        if (!v)
+            return 0;
+        const TimeNs last_seen_ns =
+            static_cast<double>(*v >> 16) * 1000.0;
+        const TimeNs timeout_ns = idle_timeout_ms_ * 1e6;
+        if (now - last_seen_ns < timeout_ns)
+            return last_seen_ns + timeout_ns;  // refreshed: re-arm
+        table_->erase(key, &ctx);
+        ++evictions_;
+        ctx.on_compute(4, 10);
+        return 0;
+    });
 }
 
 std::uint64_t
@@ -203,6 +364,8 @@ void
 Napt::process(PacketBatch &batch, ExecContext &ctx)
 {
     PMILL_ASSERT(table_ != nullptr, "Napt not initialized");
+    if (wheel_ && batch.count > 0)
+        age(batch[0].arrival_ns, ctx);
     for (std::uint32_t i = 0; i < batch.count; ++i) {
         PacketHandle &h = batch[i];
         PacketView v = view(h, ctx);
@@ -231,6 +394,10 @@ Napt::process(PacketBatch &batch, ExecContext &ctx)
         auto found = table_->lookup(key, &ctx);
         if (found) {
             mapped_port = static_cast<std::uint16_t>(*found);
+            // Refresh last-seen so the ager keeps live flows armed.
+            if (wheel_)
+                table_->insert(key, pack_value(mapped_port, h.arrival_ns),
+                               &ctx);
         } else {
             mapped_port = next_port_;
             next_port_ =
@@ -239,10 +406,16 @@ Napt::process(PacketBatch &batch, ExecContext &ctx)
                                           next_port_ + 1);
             ctx.load(state_.addr, 8);   // port allocator state
             ctx.store(state_.addr, 8);
-            if (!table_->insert(key, mapped_port, &ctx)) {
-                h.dropped = true;  // table full: drop new flows
+            const std::uint64_t value =
+                wheel_ ? pack_value(mapped_port, h.arrival_ns)
+                       : mapped_port;
+            if (!table_->insert(key, value, &ctx)) {
+                h.dropped = true;  // table full of live flows: drop
                 continue;
             }
+            if (wheel_)
+                wheel_->schedule(key,
+                                 h.arrival_ns + idle_timeout_ms_ * 1e6);
         }
 
         // Rewrite source address/port with incremental checksums.
@@ -263,6 +436,24 @@ Napt::process(PacketBatch &batch, ExecContext &ctx)
         ctx.store(h.data_addr + l4, 4);       // ports + l4 checksum
         ctx.on_compute(18, 45);
     }
+}
+
+bool
+Napt::flow_table_stats(FlowTableStats *out) const
+{
+    if (!table_)
+        return false;
+    const CuckooStats &cs = table_->stats();
+    out->occupancy = table_->size();
+    out->capacity = table_->capacity();
+    out->memory_bytes = table_->memory_bytes();
+    out->inserts = cs.inserts;
+    out->failed_inserts = cs.failed_inserts;
+    out->displacements = cs.displacements;
+    out->max_kick_chain = cs.max_kick_chain;
+    out->evictions = evictions_;
+    out->half_open = 0;
+    return true;
 }
 
 void

@@ -21,6 +21,19 @@ parse_uint(const std::string &s, std::uint64_t *out)
 }
 
 bool
+parse_double(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || v < 0)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
 parse_ipv4(const std::string &s, Ipv4Addr *out)
 {
     std::uint32_t parts[4];

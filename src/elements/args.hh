@@ -18,6 +18,9 @@ namespace pmill {
 /** Parse an unsigned integer; false on garbage. */
 bool parse_uint(const std::string &s, std::uint64_t *out);
 
+/** Parse a non-negative decimal number; false on garbage. */
+bool parse_double(const std::string &s, double *out);
+
 /** Parse dotted-quad IPv4. */
 bool parse_ipv4(const std::string &s, Ipv4Addr *out);
 

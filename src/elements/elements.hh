@@ -21,9 +21,11 @@
 
 #include "src/common/random.hh"
 #include "src/framework/element.hh"
+#include "src/net/flow.hh"
 #include "src/net/headers.hh"
 #include "src/table/cuckoo_hash.hh"
 #include "src/table/lpm.hh"
+#include "src/table/timer_wheel.hh"
 
 namespace pmill {
 
@@ -230,18 +232,46 @@ class IPLookup : public Element {
  * IDS header-correctness checks for TCP/UDP/ICMP (the paper's IDS
  * supplement, §A.3): length consistency, header sanity; bad packets
  * are dropped and counted.
+ *
+ * Optionally stateful: `IdsCheck(CONNTRACK n [, IDLE_TIMEOUT_MS t])`
+ * tracks TCP connections in a bounded cuckoo table (SYN -> half-open,
+ * ACK -> established, FIN/RST -> forgotten) with timer-wheel aging —
+ * a SYN flood shows up as half-open occupancy and eviction churn
+ * rather than unbounded state.
  */
 class IdsCheck : public Element {
   public:
     const char *class_name() const override { return "IdsCheck"; }
+    bool configure(const std::vector<std::string> &args,
+                   std::string *err) override;
+    bool initialize(SimMemory &mem, std::string *err) override;
     void process(PacketBatch &, ExecContext &) override;
     void access_profile(std::vector<Field> &reads,
                         std::vector<Field> &writes) const override;
+    bool flow_table_stats(FlowTableStats *out) const override;
 
     std::uint64_t flagged() const { return flagged_; }
+    std::uint64_t half_open() const { return half_open_; }
+    std::uint64_t evictions() const { return evictions_; }
 
   private:
+    /// Connection-table value: low 2 bits state, last-seen us above.
+    enum CtState : std::uint64_t { kCtHalfOpen = 1, kCtEstablished = 2 };
+
+    void track_tcp(const FiveTuple &key, std::uint8_t flags, TimeNs now,
+                   ExecContext &ctx);
+    void age(TimeNs now, ExecContext &ctx);
+
     std::uint64_t flagged_ = 0;
+    /// @name Stateful connection tracking (CONNTRACK capacity > 0).
+    /// @{
+    std::uint32_t conntrack_capacity_ = 0;
+    double idle_timeout_ms_ = 1.0;
+    std::unique_ptr<CuckooHash<FiveTuple, std::uint64_t>> conns_;
+    std::unique_ptr<TimerWheel<FiveTuple>> wheel_;
+    std::uint64_t half_open_ = 0;
+    std::uint64_t evictions_ = 0;
+    /// @}
 };
 
 /** Encapsulate in an 802.1Q VLAN header. Args: VLAN_ID n. */
@@ -261,7 +291,14 @@ class VlanEncap : public Element {
 /**
  * Stateful NAPT rewriting source address/port of outgoing packets,
  * keyed on the 5-tuple in a cuckoo hash table (DPDK-style, as the
- * paper's NAT uses). Args: SRCIP a.b.c.d [, CAPACITY n].
+ * paper's NAT uses). Args: SRCIP a.b.c.d [, CAPACITY n]
+ * [, IDLE_TIMEOUT_MS t].
+ *
+ * With IDLE_TIMEOUT_MS > 0 the table ages: each mapping's value
+ * carries its last-seen time and a timer wheel evicts mappings idle
+ * longer than the timeout, so a bounded table survives million-flow
+ * workloads (new flows are dropped only while the table is full of
+ * *live* mappings).
  */
 class Napt : public Element {
   public:
@@ -273,14 +310,30 @@ class Napt : public Element {
     std::uint32_t state_bytes() const override { return 128; }
     void access_profile(std::vector<Field> &reads,
                         std::vector<Field> &writes) const override;
+    bool flow_table_stats(FlowTableStats *out) const override;
 
     std::uint64_t active_mappings() const;
+    std::uint64_t evictions() const { return evictions_; }
 
   private:
+    void age(TimeNs now, ExecContext &ctx);
+
+    /// Mapping value: low 16 bits NAT port, last-seen us above.
+    static std::uint64_t
+    pack_value(std::uint16_t port, TimeNs now)
+    {
+        const std::uint64_t us =
+            static_cast<std::uint64_t>(now / 1000.0);
+        return (us << 16) | port;
+    }
+
     Ipv4Addr nat_ip_{};
     std::uint32_t capacity_ = 65536;
+    double idle_timeout_ms_ = 0;  ///< 0 = no aging
     std::uint16_t next_port_ = 1024;
     std::unique_ptr<CuckooHash<FiveTuple, std::uint64_t>> table_;
+    std::unique_ptr<TimerWheel<FiveTuple>> wheel_;
+    std::uint64_t evictions_ = 0;
 };
 
 /**

@@ -24,6 +24,23 @@
 
 namespace pmill {
 
+/**
+ * Flow-table pressure counters reported by stateful elements
+ * (NAT/conntrack) — the engine publishes them per table through
+ * MetricsRegistry so benches can watch occupancy and aging.
+ */
+struct FlowTableStats {
+    std::uint64_t occupancy = 0;      ///< live entries
+    std::uint64_t capacity = 0;       ///< entry slots
+    std::uint64_t memory_bytes = 0;   ///< simulated table footprint
+    std::uint64_t inserts = 0;        ///< new flows admitted
+    std::uint64_t failed_inserts = 0; ///< admissions refused (full)
+    std::uint64_t displacements = 0;  ///< cuckoo kicks
+    std::uint64_t max_kick_chain = 0; ///< longest displacement chain
+    std::uint64_t evictions = 0;      ///< idle-timeout expiries
+    std::uint64_t half_open = 0;      ///< embryonic TCP connections
+};
+
 /** Base class of all processing elements. */
 class Element {
   public:
@@ -118,6 +135,15 @@ class Element {
      */
     virtual void set_rule_profiling(bool) {}
     /// @}
+
+    /**
+     * Fill @p out with this element's flow-table pressure counters.
+     * @return false when the element keeps no flow table (default).
+     */
+    virtual bool flow_table_stats(FlowTableStats *) const
+    {
+        return false;
+    }
 
     /** Assign the simulated state allocation. */
     void set_state(const MemHandle &h) { state_ = h; }

@@ -1,6 +1,27 @@
 #include "src/net/checksum.hh"
 
+#include "src/net/headers.hh"
+
 namespace pmill {
+
+namespace {
+
+/** Unfolded 16-bit-word sum of @p len bytes (odd tail zero-padded). */
+std::uint64_t
+checksum_partial(const std::uint8_t *data, std::uint32_t len)
+{
+    std::uint64_t sum = 0;
+    while (len >= 2) {
+        sum += (std::uint32_t(data[0]) << 8) | data[1];
+        data += 2;
+        len -= 2;
+    }
+    if (len == 1)
+        sum += std::uint32_t(data[0]) << 8;
+    return sum;
+}
+
+} // namespace
 
 std::uint16_t
 internet_checksum(const std::uint8_t *data, std::uint32_t len)
@@ -13,6 +34,22 @@ internet_checksum(const std::uint8_t *data, std::uint32_t len)
     }
     if (len == 1)
         sum += std::uint32_t(data[0]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::uint16_t
+l4_checksum(const Ipv4Header &ip, const std::uint8_t *l4, std::uint32_t len)
+{
+    // RFC 793 / RFC 768 pseudo-header: src, dst, zero+proto, L4 length.
+    const std::uint32_t src = ip.src().value;
+    const std::uint32_t dst = ip.dst().value;
+    std::uint64_t sum = (src >> 16) + (src & 0xFFFF);
+    sum += (dst >> 16) + (dst & 0xFFFF);
+    sum += ip.proto;
+    sum += len & 0xFFFF;
+    sum += checksum_partial(l4, len);
     while (sum >> 16)
         sum = (sum & 0xFFFF) + (sum >> 16);
     return static_cast<std::uint16_t>(~sum & 0xFFFF);

@@ -12,6 +12,8 @@
 
 namespace pmill {
 
+struct Ipv4Header;
+
 /**
  * Compute the Internet checksum over @p len bytes at @p data.
  * @return the 16-bit checksum in host byte order (store with hton16
@@ -30,6 +32,16 @@ std::uint16_t checksum_update16(std::uint16_t old_sum, std::uint16_t old_val,
 /** Incremental update for a changed 32-bit field (e.g. an address). */
 std::uint16_t checksum_update32(std::uint16_t old_sum, std::uint32_t old_val,
                                 std::uint32_t new_val);
+
+/**
+ * TCP/UDP checksum of the @p len -byte L4 segment at @p l4 (checksum
+ * field zeroed by the caller), including the IPv4 pseudo-header
+ * (src, dst, proto, length) taken from @p ip. Host byte order; a UDP
+ * caller must map a 0 result to 0xFFFF (RFC 768 reserves 0 for "no
+ * checksum").
+ */
+std::uint16_t l4_checksum(const Ipv4Header &ip, const std::uint8_t *l4,
+                          std::uint32_t len);
 
 } // namespace pmill
 

@@ -31,6 +31,15 @@ enum IpProto : std::uint8_t {
     kIpProtoUdp = 17,
 };
 
+/** TCP flag bits (TcpHeader::flags). */
+enum TcpFlag : std::uint8_t {
+    kTcpFlagFin = 0x01,
+    kTcpFlagSyn = 0x02,
+    kTcpFlagRst = 0x04,
+    kTcpFlagPsh = 0x08,
+    kTcpFlagAck = 0x10,
+};
+
 /** 48-bit Ethernet MAC address. */
 struct MacAddr {
     std::array<std::uint8_t, 6> bytes{};
@@ -132,6 +141,11 @@ struct TcpHeader {
     void set_src_port(std::uint16_t p) { src_port_be = hton16(p); }
     void set_dst_port(std::uint16_t p) { dst_port_be = hton16(p); }
     std::uint32_t header_len() const { return std::uint32_t(data_off >> 4) * 4; }
+    bool has_flags(std::uint8_t f) const { return (flags & f) == f; }
+    bool syn() const { return has_flags(kTcpFlagSyn); }
+    bool ack() const { return has_flags(kTcpFlagAck); }
+    bool fin() const { return has_flags(kTcpFlagFin); }
+    bool rst() const { return has_flags(kTcpFlagRst); }
 };
 static_assert(sizeof(TcpHeader) == 20);
 

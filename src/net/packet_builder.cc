@@ -23,22 +23,25 @@ l4_header_len(std::uint8_t proto)
 
 } // namespace
 
-std::vector<std::uint8_t>
-build_frame(const FrameSpec &spec)
+std::uint32_t
+build_frame_into(const FrameSpec &spec, std::uint8_t *out, std::uint32_t cap)
 {
     const std::uint32_t l4_len = l4_header_len(spec.flow.proto);
     const std::uint32_t min_len =
         kEtherHeaderLen + kIpv4HeaderLen + l4_len;
     const std::uint32_t frame_len = std::max(spec.frame_len, min_len);
+    PMILL_ASSERT(frame_len <= cap,
+                 "frame of %u bytes exceeds buffer capacity %u", frame_len,
+                 cap);
+    std::uint8_t *buf = out;
+    std::memset(buf, 0, frame_len);
 
-    std::vector<std::uint8_t> buf(frame_len, 0);
-
-    auto *eth = reinterpret_cast<EtherHeader *>(buf.data());
+    auto *eth = reinterpret_cast<EtherHeader *>(buf);
     eth->dst = spec.dst_mac;
     eth->src = spec.src_mac;
     eth->set_ether_type(kEtherTypeIpv4);
 
-    auto *ip = reinterpret_cast<Ipv4Header *>(buf.data() + kEtherHeaderLen);
+    auto *ip = reinterpret_cast<Ipv4Header *>(buf + kEtherHeaderLen);
     ip->version_ihl = 0x45;
     ip->dscp_ecn = 0;
     const std::uint16_t ip_total =
@@ -52,7 +55,7 @@ build_frame(const FrameSpec &spec)
     ip->set_src(spec.flow.src_ip);
     ip->set_dst(spec.flow.dst_ip);
 
-    std::uint8_t *l4 = buf.data() + kEtherHeaderLen + kIpv4HeaderLen;
+    std::uint8_t *l4 = buf + kEtherHeaderLen + kIpv4HeaderLen;
     const std::uint16_t l4_total =
         static_cast<std::uint16_t>(ip_total - kIpv4HeaderLen);
     switch (spec.flow.proto) {
@@ -60,10 +63,10 @@ build_frame(const FrameSpec &spec)
         auto *tcp = reinterpret_cast<TcpHeader *>(l4);
         tcp->set_src_port(spec.flow.src_port);
         tcp->set_dst_port(spec.flow.dst_port);
-        tcp->seq_be = hton32(1);
-        tcp->ack_be = hton32(0);
+        tcp->seq_be = hton32(spec.tcp_seq);
+        tcp->ack_be = hton32(spec.tcp_ack);
         tcp->data_off = spec.good_l4_lengths ? 0x50 : 0x10;  // 20 B vs 4 B
-        tcp->flags = 0x10;  // ACK
+        tcp->flags = spec.tcp_flags;
         tcp->window_be = hton16(65535);
         break;
       }
@@ -98,6 +101,48 @@ build_frame(const FrameSpec &spec)
     if (!spec.good_l3_checksum)
         csum = static_cast<std::uint16_t>(csum + 1);
     ip->checksum_be = hton16(csum);
+
+    // L4 checksum over the segment (headers were built with the
+    // checksum field zeroed) — after the payload fill, which the
+    // checksum covers.
+    std::uint16_t l4sum = 0;
+    switch (spec.flow.proto) {
+      case kIpProtoTcp:
+        l4sum = l4_checksum(*ip, l4, l4_total);
+        if (!spec.good_l4_checksum)
+            l4sum = static_cast<std::uint16_t>(l4sum + 1);
+        reinterpret_cast<TcpHeader *>(l4)->checksum_be = hton16(l4sum);
+        break;
+      case kIpProtoUdp:
+        l4sum = l4_checksum(*ip, l4, l4_total);
+        if (!spec.good_l4_checksum)
+            l4sum = static_cast<std::uint16_t>(l4sum + 1);
+        if (l4sum == 0)
+            l4sum = 0xFFFF;  // RFC 768: 0 means "no checksum"
+        reinterpret_cast<UdpHeader *>(l4)->checksum_be = hton16(l4sum);
+        break;
+      case kIpProtoIcmp:
+        // ICMP checksums the message only, no pseudo-header.
+        l4sum = internet_checksum(l4, l4_total);
+        if (!spec.good_l4_checksum)
+            l4sum = static_cast<std::uint16_t>(l4sum + 1);
+        reinterpret_cast<IcmpHeader *>(l4)->checksum_be = hton16(l4sum);
+        break;
+      default:
+        break;
+    }
+    return frame_len;
+}
+
+std::vector<std::uint8_t>
+build_frame(const FrameSpec &spec)
+{
+    const std::uint32_t frame_len =
+        std::max(spec.frame_len,
+                 kEtherHeaderLen + kIpv4HeaderLen +
+                     l4_header_len(spec.flow.proto));
+    std::vector<std::uint8_t> buf(frame_len);
+    build_frame_into(spec, buf.data(), frame_len);
     return buf;
 }
 

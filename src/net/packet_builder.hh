@@ -23,17 +23,32 @@ struct FrameSpec {
                    1000, 80, kIpProtoTcp};
     std::uint32_t frame_len = 64;  ///< total L2 frame length w/o FCS
     std::uint8_t ttl = 64;
+    /// @name TCP segment fields (ignored for other protocols).
+    /// @{
+    std::uint8_t tcp_flags = kTcpFlagAck;
+    std::uint32_t tcp_seq = 1;
+    std::uint32_t tcp_ack = 0;
+    /// @}
     bool good_l3_checksum = true;
     bool good_l4_lengths = true;
+    bool good_l4_checksum = true;  ///< pseudo-header TCP/UDP/ICMP csum
 };
 
 /**
  * Build an Ethernet/IPv4/{TCP,UDP,ICMP} frame of exactly
  * spec.frame_len bytes (>= minimum for the protocol stack), with a
- * deterministic payload fill and a correct IPv4 header checksum
- * unless spec.good_l3_checksum is false.
+ * deterministic payload fill and correct IPv4 header and L4
+ * (pseudo-header) checksums unless the good_* knobs say otherwise.
  */
 std::vector<std::uint8_t> build_frame(const FrameSpec &spec);
+
+/**
+ * Build the same frame in place at @p buf (capacity @p cap bytes) —
+ * the allocation-free path the streaming workload generator uses.
+ * @return the frame length actually written.
+ */
+std::uint32_t build_frame_into(const FrameSpec &spec, std::uint8_t *buf,
+                               std::uint32_t cap);
 
 /** Build a minimal ARP request frame. */
 std::vector<std::uint8_t> build_arp_frame(const MacAddr &src,

@@ -45,6 +45,7 @@
 #include "src/runtime/experiments.hh"
 #include "src/table/cuckoo_hash.hh"
 #include "src/table/lpm.hh"
+#include "src/table/timer_wheel.hh"
 #include "src/telemetry/bench_report.hh"
 #include "src/telemetry/export.hh"
 #include "src/telemetry/metrics.hh"
@@ -53,5 +54,7 @@
 #include "src/tracing/lifecycle.hh"
 #include "src/tracing/trace_export.hh"
 #include "src/tracing/tracer.hh"
+#include "src/workload/samplers.hh"
+#include "src/workload/workload.hh"
 
 #endif // PMILL_PMILL_HH

@@ -1,6 +1,7 @@
 #include "src/runtime/engine.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <limits>
 
@@ -70,6 +71,26 @@ Engine::Engine(const MachineConfig &machine, const std::string &config_text,
     : machine_(machine), opts_(opts), trace_(std::move(trace))
 {
     PMILL_ASSERT(!trace_.empty(), "engine needs a nonempty trace");
+    init(config_text);
+}
+
+Engine::Engine(const MachineConfig &machine, const std::string &config_text,
+               const PipelineOpts &opts, const WorkloadSpec &workload)
+    : machine_(machine), opts_(opts)
+{
+    // One source per NIC; the stream index decorrelates their frame
+    // sequences while keeping the whole setup a pure function of the
+    // spec seed.
+    for (std::uint32_t n = 0; n < machine.num_nics; ++n)
+        workloads_.push_back(std::make_unique<WorkloadSource>(workload, n));
+    init(config_text);
+}
+
+void
+Engine::init(const std::string &config_text)
+{
+    const MachineConfig &machine = machine_;
+    const PipelineOpts &opts = opts_;
     PMILL_ASSERT(machine.num_cores >= 1 && machine.num_nics >= 1,
                  "need at least one core and one NIC");
     PMILL_ASSERT(machine.num_cores == 1 || machine.num_nics == 1,
@@ -252,6 +273,90 @@ Engine::register_telemetry()
             v += core->poll_wait_cycles;
         return v;
     });
+
+    // Flow-table state (NAT/conntrack): one prefixed group per
+    // stateful element, summed/aggregated over per-core instances.
+    const auto elems = cores_[0]->pipe->elements();
+    for (std::size_t ei = 0; ei < elems.size(); ++ei) {
+        FlowTableStats probe;
+        if (!elems[ei]->flow_table_stats(&probe))
+            continue;
+        std::string label = elems[ei]->name().empty()
+                                ? elems[ei]->class_name()
+                                : elems[ei]->name();
+        for (char &c : label)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        const std::string prefix = "tbl_" + label + "_";
+        // Snapshot of every core's instance of element ei, summed.
+        auto sum_stat = [this, ei](auto field) {
+            double v = 0;
+            for (const auto &core : cores_) {
+                FlowTableStats st;
+                if (core->pipe->elements()[ei]->flow_table_stats(&st))
+                    v += static_cast<double>(field(st));
+            }
+            return v;
+        };
+        metrics_.add_gauge(prefix + "occupancy", [sum_stat] {
+            return sum_stat([](const FlowTableStats &s) {
+                return s.occupancy;
+            });
+        });
+        metrics_.add_gauge(prefix + "half_open", [sum_stat] {
+            return sum_stat([](const FlowTableStats &s) {
+                return s.half_open;
+            });
+        });
+        metrics_.add_probe_counter(prefix + "inserts", [sum_stat] {
+            return sum_stat([](const FlowTableStats &s) {
+                return s.inserts;
+            });
+        });
+        metrics_.add_probe_counter(prefix + "failed_inserts", [sum_stat] {
+            return sum_stat([](const FlowTableStats &s) {
+                return s.failed_inserts;
+            });
+        });
+        metrics_.add_probe_counter(prefix + "displacements", [sum_stat] {
+            return sum_stat([](const FlowTableStats &s) {
+                return s.displacements;
+            });
+        });
+        metrics_.add_probe_counter(prefix + "evictions", [sum_stat] {
+            return sum_stat([](const FlowTableStats &s) {
+                return s.evictions;
+            });
+        });
+    }
+
+    // Workload-generator counters (streaming mode only).
+    if (!workloads_.empty()) {
+        auto sum_wl = [this](auto field) {
+            return [this, field] {
+                double v = 0;
+                for (const auto &w : workloads_)
+                    v += static_cast<double>(field(w->stats()));
+                return v;
+            };
+        };
+        metrics_.add_probe_counter(
+            "wl_frames", sum_wl([](const WorkloadStats &s) {
+                return s.frames;
+            }));
+        metrics_.add_probe_counter(
+            "wl_flows_born", sum_wl([](const WorkloadStats &s) {
+                return s.flows_born;
+            }));
+        metrics_.add_probe_counter(
+            "wl_flows_died", sum_wl([](const WorkloadStats &s) {
+                return s.flows_died;
+            }));
+        metrics_.add_probe_counter(
+            "wl_syns", sum_wl([](const WorkloadStats &s) {
+                return s.syn_frames;
+            }));
+    }
 }
 
 Engine::~Engine() = default;
@@ -374,22 +479,37 @@ Engine::deliver_next(std::uint32_t nic_idx)
     Generator &gen = gens_[nic_idx];
     NicDevice &nic = *nics_[nic_idx];
 
-    const std::uint8_t *frame = trace_.data(gen.cursor);
-    const std::uint32_t len = trace_.len(gen.cursor);
-    gen.cursor = (gen.cursor + 1) % trace_.size();
+    const std::uint8_t *frame;
+    std::uint32_t len;
+    double gap_scale = 1.0;
+    if (!workloads_.empty()) {
+        // Streaming mode: synthesize the frame now (the NIC copies it
+        // into its mempool inside deliver(), so the scratch buffer can
+        // be reused immediately).
+        len = workloads_[nic_idx]->next_frame(
+            gen_buf_.data(), static_cast<std::uint32_t>(gen_buf_.size()),
+            &gap_scale);
+        frame = gen_buf_.data();
+    } else {
+        frame = trace_.data(gen.cursor);
+        len = trace_.len(gen.cursor);
+        gen.cursor = (gen.cursor + 1) % trace_.size();
+    }
 
     const TimeNs done = gen.next_start + nic.wire_time_ns(len);
     nic.deliver(frame, len, done);
 
     // Next frame starts after this one's share of the offered rate
     // (post-step rate once the configured load step has passed).
+    // Workload burst modulation scales the gap (x1.0 — exact in IEEE —
+    // on the trace path and whenever bursts are off).
     const double offered =
         (load_step_gbps_ > 0 && gen.next_start >= load_step_at_)
             ? load_step_gbps_
             : offered_gbps_;
     const double wire_bits =
         static_cast<double>((len + kWireOverheadBytes) * 8);
-    gen.next_start += wire_bits / offered;
+    gen.next_start += wire_bits / offered * gap_scale;
 }
 
 void

@@ -14,6 +14,7 @@
 #ifndef PMILL_RUNTIME_ENGINE_HH
 #define PMILL_RUNTIME_ENGINE_HH
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -34,6 +35,7 @@
 #include "src/trace/trace.hh"
 #include "src/tracing/lifecycle.hh"
 #include "src/tracing/tracer.hh"
+#include "src/workload/workload.hh"
 
 namespace pmill {
 
@@ -102,6 +104,15 @@ class Engine : public Actuator {
      */
     Engine(const MachineConfig &machine, const std::string &config_text,
            const PipelineOpts &opts, Trace trace);
+
+    /**
+     * Streaming-workload variant: instead of replaying a precomputed
+     * Trace, every NIC owns a WorkloadSource (stream = NIC index)
+     * synthesizing frames lazily — million-flow universes with only
+     * per-flow slot state, no frame arena.
+     */
+    Engine(const MachineConfig &machine, const std::string &config_text,
+           const PipelineOpts &opts, const WorkloadSpec &workload);
 
     ~Engine();
     Engine(const Engine &) = delete;
@@ -186,6 +197,16 @@ class Engine : public Actuator {
 
     /** The telemetry registry (aggregate + per-queue metrics). */
     MetricsRegistry &metrics() { return metrics_; }
+
+    /**
+     * Workload source feeding NIC @p nic, or nullptr when this engine
+     * replays a Trace instead.
+     */
+    WorkloadSource *
+    workload(std::uint32_t nic = 0)
+    {
+        return nic < workloads_.size() ? workloads_[nic].get() : nullptr;
+    }
 
     /**
      * Sampled time-series of the most recent run (empty before the
@@ -293,6 +314,9 @@ class Engine : public Actuator {
      */
     void idle_spin(Core &core, TimeNs until);
 
+    /** Shared constructor body (topology + telemetry). */
+    void init(const std::string &config_text);
+
     /** Register the engine-level aggregate metrics (ctor helper). */
     void register_telemetry();
 
@@ -303,7 +327,12 @@ class Engine : public Actuator {
 
     MachineConfig machine_;
     PipelineOpts opts_;
-    Trace trace_;
+    Trace trace_;  ///< empty when workloads_ drive the generators
+    /// Streaming frame sources, one per NIC (empty in trace mode).
+    std::vector<std::unique_ptr<WorkloadSource>> workloads_;
+    /// Scratch buffer a workload frame is synthesized into before the
+    /// NIC copies it into its simulated mempool.
+    std::array<std::uint8_t, kMaxFrameLen> gen_buf_{};
     double offered_gbps_ = 100.0;
     /// @name Load step (set per run; gated on load_step_gbps_ > 0).
     /// @{

@@ -80,6 +80,43 @@ rt -> DecIPTTL
 }
 
 std::string
+nat_aging_config(std::uint32_t burst, std::uint32_t capacity,
+                 double idle_timeout_ms)
+{
+    return strprintf(R"(
+// NAPT with bounded flow table + idle-timeout aging
+input  :: FromDPDKDevice(PORT 0, BURST %u);
+output :: ToDPDKDevice(PORT 0, BURST %u);
+%s
+rt -> DecIPTTL
+   -> Napt(SRCIP 100.0.0.1, CAPACITY %u, IDLE_TIMEOUT_MS %g)
+   -> EtherRewrite(SRC 02:00:00:00:00:10, DST 02:00:00:00:00:20)
+   -> output;
+)",
+                     burst, burst, kRouterBody, capacity,
+                     idle_timeout_ms);
+}
+
+std::string
+ids_conntrack_config(std::uint32_t burst, std::uint32_t capacity,
+                     double idle_timeout_ms)
+{
+    return strprintf(R"(
+// router + stateful IDS (aged conntrack table)
+input  :: FromDPDKDevice(PORT 0, BURST %u);
+output :: ToDPDKDevice(PORT 0, BURST %u);
+%s
+rt -> DecIPTTL
+   -> IdsCheck(CONNTRACK %u, IDLE_TIMEOUT_MS %g)
+   -> VLANEncap(VLAN_ID 42)
+   -> EtherRewrite(SRC 02:00:00:00:00:10, DST 02:00:00:00:00:20)
+   -> output;
+)",
+                     burst, burst, kRouterBody, capacity,
+                     idle_timeout_ms);
+}
+
+std::string
 workpackage_config(std::uint32_t s_mb, std::uint32_t n, std::uint32_t w,
                    std::uint32_t burst)
 {

@@ -33,6 +33,21 @@ std::string ids_router_config(std::uint32_t burst = 32);
 /** §A.3 NAT (router + stateful NAPT over a cuckoo table). */
 std::string nat_config(std::uint32_t burst = 32);
 
+/**
+ * NAT with a bounded flow table and idle-timeout aging — the
+ * million-flow / hostile-workload variant of nat_config().
+ */
+std::string nat_aging_config(std::uint32_t burst, std::uint32_t capacity,
+                             double idle_timeout_ms);
+
+/**
+ * IDS router tracking TCP connection state (half-open vs
+ * established) in a bounded, aged conntrack table.
+ */
+std::string ids_conntrack_config(std::uint32_t burst,
+                                 std::uint32_t capacity,
+                                 double idle_timeout_ms);
+
 /** §A.4 WorkPackage(S MiB, N accesses, W PRNG rounds) + forwarder. */
 std::string workpackage_config(std::uint32_t s_mb, std::uint32_t n,
                                std::uint32_t w,

@@ -13,12 +13,13 @@
 #ifndef PMILL_TABLE_CUCKOO_HASH_HH
 #define PMILL_TABLE_CUCKOO_HASH_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <optional>
+#include <utility>
 
 #include "src/common/log.hh"
-#include "src/common/random.hh"
 #include "src/common/types.hh"
 #include "src/mem/access_sink.hh"
 #include "src/mem/sim_memory.hh"
@@ -26,9 +27,24 @@
 
 namespace pmill {
 
+/** Pressure counters of one cuckoo table (monotonic since creation). */
+struct CuckooStats {
+    std::uint64_t inserts = 0;        ///< new keys placed
+    std::uint64_t updates = 0;        ///< existing keys overwritten
+    std::uint64_t failed_inserts = 0; ///< kick chain exhausted
+    std::uint64_t displacements = 0;  ///< entries moved by kicks
+    std::uint64_t erases = 0;
+    std::uint32_t max_kick_chain = 0; ///< longest chain walked
+};
+
 /**
  * Cuckoo hash mapping a trivially copyable @p Key to a trivially
  * copyable @p Value.
+ *
+ * Displacement victims are a pure function of (key hash, kick depth,
+ * table seed) — no ambient RNG state — so an insert sequence produces
+ * bit-identical table layouts on every host and is replayable from a
+ * seed.
  *
  * @tparam Key must contain no indeterminate padding bytes (pad
  *         explicitly and zero it), because hashing and equality
@@ -44,9 +60,11 @@ class CuckooHash {
      * @param mem Simulated memory to place the bucket array in.
      * @param capacity_hint Expected maximum number of keys; the table
      *        sizes itself to keep load factor moderate.
+     * @param seed Victim-selection seed (determinism domain).
      */
-    CuckooHash(SimMemory &mem, std::uint32_t capacity_hint)
-        : rng_(0x5EEDull)
+    CuckooHash(SimMemory &mem, std::uint32_t capacity_hint,
+               std::uint64_t seed = 0x5EEDull)
+        : seed_(seed)
     {
         std::uint64_t want_buckets =
             (std::uint64_t(capacity_hint) * 2) / kEntriesPerBucket + 1;
@@ -70,22 +88,29 @@ class CuckooHash {
         std::uint64_t b2 = bucket2(h, b1);
 
         if (update_in_bucket(b1, key, value, sink) ||
-            update_in_bucket(b2, key, value, sink))
+            update_in_bucket(b2, key, value, sink)) {
+            ++stats_.updates;
             return true;
+        }
         if (place_in_bucket(b1, key, value, sink) ||
             place_in_bucket(b2, key, value, sink)) {
             ++size_;
+            ++stats_.inserts;
             return true;
         }
 
-        // Displacement chain: evict a random victim from b1 and move
-        // it to its alternate bucket, repeating up to kMaxKicks.
+        // Displacement chain: evict a seeded-deterministic victim from
+        // b1 and move it to its alternate bucket, repeating up to
+        // kMaxKicks. Record each step so a dead-end chain can be
+        // unwound — a failed insert leaves the table bit-identical to
+        // before the call.
+        std::pair<std::uint64_t, std::uint32_t> chain[kMaxKicks];
         Key cur_key = key;
         Value cur_val = value;
+        std::uint64_t cur_h = h;
         std::uint64_t bucket = b1;
         for (std::uint32_t kick = 0; kick < kMaxKicks; ++kick) {
-            const std::uint32_t slot = static_cast<std::uint32_t>(
-                rng_.next_below(kEntriesPerBucket));
+            const std::uint32_t slot = victim_slot(cur_h, kick);
             Entry &victim = bucket_at(bucket).entries[slot];
             sink_load(sink, entry_addr(bucket, slot), sizeof(Entry));
 
@@ -94,6 +119,10 @@ class CuckooHash {
             victim.key = cur_key;
             victim.value = cur_val;
             sink_store(sink, entry_addr(bucket, slot), sizeof(Entry));
+            chain[kick] = {bucket, slot};
+            ++stats_.displacements;
+            stats_.max_kick_chain =
+                std::max(stats_.max_kick_chain, kick + 1);
 
             const std::uint64_t eh = hash_key(evicted_key);
             const std::uint64_t eb1 = bucket1(eh);
@@ -101,12 +130,34 @@ class CuckooHash {
             const std::uint64_t alt = (bucket == eb1) ? eb2 : eb1;
             if (place_in_bucket(alt, evicted_key, evicted_val, sink)) {
                 ++size_;
+                ++stats_.inserts;
                 return true;
             }
             cur_key = evicted_key;
             cur_val = evicted_val;
+            cur_h = eh;
             bucket = alt;
         }
+
+        // Chain exhausted: unwind the swaps in reverse so every
+        // pre-existing key keeps its slot and the new key is absent.
+        for (std::uint32_t kick = kMaxKicks; kick-- > 0;) {
+            Entry &e = bucket_at(chain[kick].first)
+                           .entries[chain[kick].second];
+            sink_load(sink, entry_addr(chain[kick].first,
+                                       chain[kick].second),
+                      sizeof(Entry));
+            Key displaced_key = e.key;
+            Value displaced_val = e.value;
+            e.key = cur_key;
+            e.value = cur_val;
+            sink_store(sink, entry_addr(chain[kick].first,
+                                        chain[kick].second),
+                       sizeof(Entry));
+            cur_key = displaced_key;
+            cur_val = displaced_val;
+        }
+        ++stats_.failed_inserts;
         return false;
     }
 
@@ -138,8 +189,25 @@ class CuckooHash {
     /** Number of buckets (power of two). */
     std::uint64_t num_buckets() const { return num_buckets_; }
 
+    /** Total entry slots (buckets x entries per bucket). */
+    std::uint64_t capacity() const
+    {
+        return num_buckets_ * kEntriesPerBucket;
+    }
+
+    /** Fraction of entry slots occupied. */
+    double
+    load_factor() const
+    {
+        return static_cast<double>(size_) /
+               static_cast<double>(capacity());
+    }
+
     /** Bytes of simulated memory occupied by the bucket array. */
     std::uint64_t memory_bytes() const { return storage_.size; }
+
+    /** Pressure counters (inserts, kicks, failures, erases). */
+    const CuckooStats &stats() const { return stats_; }
 
   private:
     struct Entry {
@@ -176,6 +244,20 @@ class CuckooHash {
     {
         // Partial-key displacement hash (independent bits of h).
         return (b1 ^ mix64(h >> 32)) & (num_buckets_ - 1);
+    }
+
+    /**
+     * Victim entry for a kick displacing the key hashing to @p h at
+     * chain depth @p kick: a pure function of (hash, depth, seed), so
+     * identical insert sequences build identical tables everywhere.
+     */
+    std::uint32_t
+    victim_slot(std::uint64_t h, std::uint32_t kick) const
+    {
+        return static_cast<std::uint32_t>(
+                   mix64(h ^ (seed_ +
+                              0x9E3779B97F4A7C15ull * (kick + 1)))) &
+               (kEntriesPerBucket - 1);
     }
 
     Bucket &
@@ -251,6 +333,7 @@ class CuckooHash {
                 e.occupied = 0;
                 sink_store(sink, entry_addr(b, s), sizeof(Entry));
                 --size_;
+                ++stats_.erases;
                 return true;
             }
         }
@@ -266,7 +349,8 @@ class CuckooHash {
     MemHandle storage_;
     std::uint64_t num_buckets_ = 0;
     std::uint64_t size_ = 0;
-    Xorshift64 rng_;
+    std::uint64_t seed_ = 0;
+    CuckooStats stats_;
 };
 
 } // namespace pmill

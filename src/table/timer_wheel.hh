@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Hashed timer wheel for flow-state aging (the DPDK rte_timer /
+ * kernel-conntrack idiom): O(1) schedule, batched expiry on advance.
+ *
+ * Stateful elements arm one deadline per flow and age lazily — the
+ * wheel fires the armed deadline, the callback checks the flow's real
+ * last-seen time in the table and either evicts or re-arms. That way
+ * the hot path never rescheds on every packet; it just stamps
+ * last-seen into the table value.
+ *
+ * Determinism: slots are plain vectors scanned in insertion order, no
+ * hashing of host pointers, so a given schedule/advance sequence
+ * expires entries in the same order on every host. The wheel itself
+ * is host-side bookkeeping; the simulated cost of aging is the table
+ * lookups/erases the callback performs through an AccessSink.
+ */
+
+#ifndef PMILL_TABLE_TIMER_WHEEL_HH
+#define PMILL_TABLE_TIMER_WHEEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/log.hh"
+#include "src/common/types.hh"
+
+namespace pmill {
+
+/** Hashed wheel of per-key deadlines. @tparam Key copyable key. */
+template <typename Key>
+class TimerWheel {
+  public:
+    /**
+     * @param slot_ns Wheel granularity (deadlines round up to it).
+     * @param num_slots Slots per revolution; deadlines beyond one
+     *        revolution park in their modulo slot and re-queue when it
+     *        fires early.
+     */
+    TimerWheel(TimeNs slot_ns, std::size_t num_slots)
+        : slot_ns_(slot_ns), slots_(num_slots)
+    {
+        PMILL_ASSERT(slot_ns > 0 && num_slots >= 2,
+                     "timer wheel needs a positive slot and >= 2 slots");
+    }
+
+    /** Arm @p deadline for @p key (keys may be armed repeatedly). */
+    void
+    schedule(const Key &key, TimeNs deadline)
+    {
+        slots_[slot_of(deadline)].push_back(Pending{key, deadline});
+        ++armed_;
+    }
+
+    /**
+     * Advance wheel time to @p now, firing every deadline <= now:
+     * calls `cb(key, deadline) -> TimeNs`; a positive return re-arms
+     * the key at that time, else the entry is dropped.
+     * @return number of callback firings.
+     */
+    template <typename Cb>
+    std::size_t
+    advance(TimeNs now, Cb &&cb)
+    {
+        std::size_t fired = 0;
+        while (cursor_time_ + slot_ns_ <= now) {
+            const TimeNs slot_end = cursor_time_ + slot_ns_;
+            // Swap the slot out first: re-armed/parked entries may
+            // land back in the slot being drained.
+            scratch_.clear();
+            scratch_.swap(slots_[cursor_]);
+            armed_ -= scratch_.size();
+            for (const Pending &p : scratch_) {
+                if (p.deadline > slot_end) {
+                    // Parked from a future revolution; not due yet.
+                    schedule(p.key, p.deadline);
+                    continue;
+                }
+                ++fired;
+                const TimeNs again = cb(p.key, p.deadline);
+                if (again > 0)
+                    schedule(p.key, again);
+            }
+            cursor_time_ = slot_end;
+            cursor_ = (cursor_ + 1) % slots_.size();
+        }
+        return fired;
+    }
+
+    /** Currently armed entries (including parked future revolutions). */
+    std::size_t armed() const { return armed_; }
+
+    TimeNs slot_ns() const { return slot_ns_; }
+
+  private:
+    struct Pending {
+        Key key;
+        TimeNs deadline;
+    };
+
+    std::size_t
+    slot_of(TimeNs deadline) const
+    {
+        if (deadline <= cursor_time_)
+            return cursor_;  // overdue: fire on the next advance
+        const std::uint64_t ticks = static_cast<std::uint64_t>(
+            (deadline - cursor_time_) / slot_ns_);
+        return (cursor_ + ticks) % slots_.size();
+    }
+
+    TimeNs slot_ns_;
+    TimeNs cursor_time_ = 0;  ///< start of the slot at cursor_
+    std::size_t cursor_ = 0;
+    std::size_t armed_ = 0;
+    std::vector<std::vector<Pending>> slots_;
+    std::vector<Pending> scratch_;
+};
+
+} // namespace pmill
+
+#endif // PMILL_TABLE_TIMER_WHEEL_HH

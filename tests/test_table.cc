@@ -257,5 +257,164 @@ TEST(Dir24_8, MatchesNaiveOnRandomRouteSets)
     }
 }
 
+TEST(CuckooHash, HighLoadChurnCyclesMatchReference)
+{
+    SimMemory mem;
+    CuckooHash<Key64, std::uint32_t> t(mem, 4096);
+    std::unordered_map<std::uint64_t, std::uint32_t> ref;
+    Xorshift64 rng(77);
+
+    // Fill to a high load factor, then cycle erase/reinsert waves so
+    // slots get reused and kick chains cross previously-freed buckets.
+    for (int cycle = 0; cycle < 6; ++cycle) {
+        while (t.load_factor() < 0.80) {
+            const std::uint64_t k = rng.next_below(1 << 20);
+            const auto v = static_cast<std::uint32_t>(rng.next());
+            if (t.insert(Key64{k}, v))
+                ref[k] = v;
+            else
+                ref.erase(k);  // failed insert also erases nothing new
+        }
+        // Erase roughly a quarter of the live keys.
+        std::vector<std::uint64_t> victims;
+        for (const auto &kv : ref)
+            if (rng.next_below(4) == 0)
+                victims.push_back(kv.first);
+        for (std::uint64_t k : victims) {
+            EXPECT_TRUE(t.erase(Key64{k}));
+            ref.erase(k);
+        }
+        // Spot-check agreement after each wave.
+        for (const auto &kv : ref) {
+            auto v = t.lookup(Key64{kv.first});
+            ASSERT_TRUE(v.has_value()) << kv.first;
+            EXPECT_EQ(*v, kv.second);
+        }
+        EXPECT_EQ(t.size(), ref.size());
+    }
+    // Stats must stay consistent with the live count.
+    const CuckooStats &st = t.stats();
+    EXPECT_EQ(st.inserts - st.erases, t.size());
+    EXPECT_GT(st.displacements, 0u);  // 80% load forces kicks
+    EXPECT_GT(st.max_kick_chain, 0u);
+}
+
+TEST(CuckooHash, FailedInsertLeavesTableIntact)
+{
+    SimMemory mem;
+    // Tiny table so insertion failure is reachable.
+    CuckooHash<Key64, std::uint32_t> t(mem, 4);
+    std::unordered_map<std::uint64_t, std::uint32_t> ref;
+    Xorshift64 rng(5);
+    bool failed = false;
+    for (std::uint64_t i = 0; i < 100000 && !failed; ++i) {
+        const std::uint64_t k = rng.next();
+        const auto v = static_cast<std::uint32_t>(i);
+        if (t.insert(Key64{k}, v))
+            ref[k] = v;
+        else
+            failed = true;
+    }
+    ASSERT_TRUE(failed) << "table never filled";
+    EXPECT_EQ(t.stats().failed_inserts, 1u);
+    // A failed insert unwinds its kick chain: every previously
+    // inserted key must still be present with its original value.
+    EXPECT_EQ(t.size(), ref.size());
+    for (const auto &kv : ref) {
+        auto v = t.lookup(Key64{kv.first});
+        ASSERT_TRUE(v.has_value()) << kv.first;
+        EXPECT_EQ(*v, kv.second);
+    }
+}
+
+TEST(CuckooHash, DeterministicDisplacement)
+{
+    // Same seed + same operation sequence => identical displacement
+    // decisions, hence identical stats and layout-sensitive counters.
+    SimMemory mem_a, mem_b;
+    CuckooHash<Key64, std::uint32_t> a(mem_a, 512, 0xABCDEFull);
+    CuckooHash<Key64, std::uint32_t> b(mem_b, 512, 0xABCDEFull);
+    Xorshift64 rng(9);
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t k = rng.next_below(4096);
+        if (rng.next_below(5) == 0) {
+            EXPECT_EQ(a.erase(Key64{k}), b.erase(Key64{k}));
+        } else {
+            const auto v = static_cast<std::uint32_t>(i);
+            EXPECT_EQ(a.insert(Key64{k}, v), b.insert(Key64{k}, v));
+        }
+    }
+    EXPECT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.stats().inserts, b.stats().inserts);
+    EXPECT_EQ(a.stats().displacements, b.stats().displacements);
+    EXPECT_EQ(a.stats().failed_inserts, b.stats().failed_inserts);
+    EXPECT_EQ(a.stats().max_kick_chain, b.stats().max_kick_chain);
+
+    // A different seed may legitimately displace differently; the
+    // tables must still agree on contents even if stats differ.
+    SimMemory mem_c;
+    CuckooHash<Key64, std::uint32_t> c(mem_c, 512, 0x1234ull);
+    Xorshift64 rng2(9);
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t k = rng2.next_below(4096);
+        if (rng2.next_below(5) == 0)
+            c.erase(Key64{k});
+        else
+            c.insert(Key64{k}, static_cast<std::uint32_t>(i));
+    }
+    for (std::uint64_t k = 0; k < 4096; ++k)
+        EXPECT_EQ(a.lookup(Key64{k}).has_value(),
+                  c.lookup(Key64{k}).has_value())
+            << k;
+}
+
+TEST(Dir24_8, OverlappingPrefixChain)
+{
+    SimMemory mem;
+    Dir24_8 t(mem, 1024);
+    // Nested prefixes: each more-specific route shadows the broader
+    // one for its own range only.
+    ASSERT_TRUE(t.add({Ipv4Addr::make(10, 0, 0, 0), 8, 1}));
+    ASSERT_TRUE(t.add({Ipv4Addr::make(10, 1, 0, 0), 16, 2}));
+    ASSERT_TRUE(t.add({Ipv4Addr::make(10, 1, 1, 0), 24, 3}));
+    ASSERT_TRUE(t.add({Ipv4Addr::make(10, 1, 1, 7), 32, 4}));
+
+    EXPECT_EQ(t.lookup(Ipv4Addr::make(10, 9, 9, 9)), 1);
+    EXPECT_EQ(t.lookup(Ipv4Addr::make(10, 1, 9, 9)), 2);
+    EXPECT_EQ(t.lookup(Ipv4Addr::make(10, 1, 1, 9)), 3);
+    EXPECT_EQ(t.lookup(Ipv4Addr::make(10, 1, 1, 7)), 4);
+    // Outside 10/8 entirely: no route.
+    EXPECT_FALSE(t.lookup(Ipv4Addr::make(11, 1, 1, 7)).has_value());
+
+    // Same chain against the reference implementation.
+    NaiveLpm ref;
+    ref.add({Ipv4Addr::make(10, 0, 0, 0), 8, 1});
+    ref.add({Ipv4Addr::make(10, 1, 0, 0), 16, 2});
+    ref.add({Ipv4Addr::make(10, 1, 1, 0), 24, 3});
+    ref.add({Ipv4Addr::make(10, 1, 1, 7), 32, 4});
+    Xorshift64 rng(31);
+    for (int i = 0; i < 5000; ++i) {
+        Ipv4Addr probe{static_cast<std::uint32_t>(rng.next())};
+        EXPECT_EQ(t.lookup(probe), ref.lookup(probe)) << probe.to_string();
+    }
+}
+
+TEST(Dir24_8, DefaultRouteOnly)
+{
+    SimMemory mem;
+    Dir24_8 t(mem, 64);
+    ASSERT_TRUE(t.add({Ipv4Addr::make(0, 0, 0, 0), 0, 9}));
+    // Every address matches the default route.
+    Xorshift64 rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        Ipv4Addr probe{static_cast<std::uint32_t>(rng.next())};
+        EXPECT_EQ(t.lookup(probe), 9);
+    }
+    // A /32 on top of a default route wins for exactly one address.
+    ASSERT_TRUE(t.add({Ipv4Addr::make(192, 168, 0, 1), 32, 5}));
+    EXPECT_EQ(t.lookup(Ipv4Addr::make(192, 168, 0, 1)), 5);
+    EXPECT_EQ(t.lookup(Ipv4Addr::make(192, 168, 0, 2)), 9);
+}
+
 } // namespace
 } // namespace pmill
