@@ -28,10 +28,13 @@
  *   --duration US       measured interval (default 2500)
  *   --verify            check equivalence against the vanilla build
  *   --report            print the PacketMill optimization report
+ *   --explain           print the cycle-accounting bottleneck report
+ *                       (same renderer as pmill_explain)
  *   --json              emit the results as a JSON object
  *   --stats-json PATH   write the sampled telemetry time-series,
- *                       per-element cost breakdown, and run summary
- *                       as JSON Lines
+ *                       cycle-accounting breakdown ({"type":"acct"}
+ *                       lines, pmill_explain's input), per-element
+ *                       cost breakdown, and run summary as JSON Lines
  *   --stats-csv PATH    write the sampled time-series as CSV
  *   --sample-interval-us N  telemetry snapshot period (default 100)
  *   --trace-out PATH    write a Chrome/Perfetto trace-event JSON of
@@ -92,7 +95,7 @@ usage(const char *argv0)
                  "usage: %s <config.click> [--opt LEVEL] [--model M] "
                  "[--freq GHZ] [--offered GBPS] [--cores N] [--nics N] "
                  "[--size BYTES] [--workload SPEC] [--duration US] "
-                 "[--verify] [--report] "
+                 "[--verify] [--report] [--explain] "
                  "[--json] [--stats-json PATH] [--stats-csv PATH] "
                  "[--sample-interval-us N] [--trace-out PATH] "
                  "[--trace-jsonl PATH] [--trace-sample-rate R] "
@@ -193,6 +196,7 @@ main(int argc, char **argv)
     double sample_us = 100.0;
     std::uint32_t cores = 1, nics = 1, fixed_size = 0;
     bool do_verify = false, do_report = false, do_json = false;
+    bool do_explain = false;
     std::string stats_json_path, stats_csv_path;
     std::string trace_out_path, trace_jsonl_path;
     std::string profile_out_path, profile_in_path;
@@ -261,6 +265,8 @@ main(int argc, char **argv)
             do_report = true;
         } else if (a == "--json") {
             do_json = true;
+        } else if (a == "--explain") {
+            do_explain = true;
         } else if (a == "--stats-json") {
             stats_json_path = next();
         } else if (a == "--stats-csv") {
@@ -303,7 +309,8 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
         if (has_inline &&
-            (a == "--verify" || a == "--report" || a == "--json"))
+            (a == "--verify" || a == "--report" || a == "--json" ||
+             a == "--explain"))
             usage(argv[0]);
     }
 
@@ -475,7 +482,10 @@ main(int argc, char **argv)
                              trace_out_path.c_str());
                 return 1;
             }
-            export_chrome_trace(*engine.tracer(), out);
+            // Counter tracks are anchored at measurement start (the
+            // timeline's t=0 is the end of warm-up).
+            export_chrome_trace(*engine.tracer(), engine.timeline(),
+                                rc.warmup_us * 1000.0, out);
         }
         if (!trace_jsonl_path.empty()) {
             std::ofstream out(trace_jsonl_path);
@@ -510,6 +520,7 @@ main(int argc, char **argv)
         export_jsonl(engine.timeline(), out);
         if (controller)
             controller->log().write_jsonl(out);
+        acct_write_jsonl(acct_report_from_engine(engine), out);
         for (std::size_t i = 0; i < elems.size() && i < estats.size();
              ++i) {
             const ElementStats &es = estats[i];
@@ -707,6 +718,13 @@ main(int argc, char **argv)
         if (!tail.dominant_stage.empty())
             std::printf("tail latency dominated by: %s\n",
                         tail.dominant_stage.c_str());
+    }
+
+    if (do_explain) {
+        std::ostringstream os;
+        os << "\n";
+        acct_render_report(acct_report_from_engine(engine), os);
+        std::fputs(os.str().c_str(), stdout);
     }
 
     if (do_verify) {

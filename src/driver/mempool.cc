@@ -1,5 +1,6 @@
 #include "src/driver/mempool.hh"
 
+#include "src/accounting/cycle_account.hh"
 #include "src/common/log.hh"
 #include "src/telemetry/metrics.hh"
 #include "src/tracing/tracer.hh"
@@ -32,6 +33,9 @@ Mempool::alloc(AccessSink *sink)
 {
     if (free_stack_.empty())
         return MbufRef{};
+    // Pool work stays in the mempool bucket even when nested inside a
+    // driver RX replenish.
+    AcctScope acct_scope(sink, kAcctMempool);
     // The per-lcore cache head: alloc/free traffic stays in this hot
     // line; the backing ring is only touched on (rare) bulk spills,
     // so the cache model sees no pool-bookkeeping misses — matching
@@ -71,6 +75,7 @@ Mempool::free(const MbufRef &ref, AccessSink *sink)
     PMILL_ASSERT(ref.m != nullptr, "freeing a null mbuf");
     const std::uint32_t idx = static_cast<std::uint32_t>(ref.m->pool_elem);
     PMILL_ASSERT(idx < num_elements_, "mbuf does not belong to this pool");
+    AcctScope acct_scope(sink, kAcctMempool);
     sink_store(sink, cache_mem_.addr, 8);
     PMILL_ASSERT(free_stack_.size() < num_elements_,
                  "double free: pool overflow");

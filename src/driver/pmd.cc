@@ -1,5 +1,6 @@
 #include "src/driver/pmd.hh"
 
+#include "src/accounting/cycle_account.hh"
 #include "src/common/log.hh"
 #include "src/runtime/cost_model.hh"
 #include "src/telemetry/metrics.hh"
@@ -66,6 +67,9 @@ std::uint32_t
 PmdStandard::rx_burst(TimeNs now, MbufRef *out, std::uint32_t max,
                       AccessSink *sink)
 {
+    // Everything in the burst is driver-RX time except the nested
+    // mempool replenish, which retags itself kAcctMempool.
+    AcctScope acct_scope(sink, kAcctDriverRx);
     Cqe cqes[64];
     PMILL_ASSERT(max <= 64, "burst larger than CQE scratch");
     const std::uint32_t n = nic_.rx_poll(queue_, now, cqes, max);
@@ -130,6 +134,7 @@ std::uint32_t
 PmdStandard::tx_burst(MbufRef *pkts, std::uint32_t n, TimeNs now,
                       AccessSink *sink)
 {
+    AcctScope acct_scope(sink, kAcctDriverTx);
     if (PMILL_TRACE_ON(tracer_))
         tracer_->set_now(now);
     // Free-threshold behaviour: return completed mbufs to the pool.
@@ -207,6 +212,9 @@ std::uint32_t
 PmdXchg::rx_burst(TimeNs now, void **out, std::uint32_t max,
                   AccessSink *sink)
 {
+    // Driver-RX scope; the adapter's conversion functions retag their
+    // own stores kAcctMetadata and the spare ring kAcctMempool.
+    AcctScope acct_scope(sink, kAcctDriverRx);
     Cqe cqes[64];
     PMILL_ASSERT(max <= 64, "burst larger than CQE scratch");
     const std::uint32_t n = nic_.rx_poll(queue_, now, cqes, max);
@@ -266,6 +274,7 @@ std::uint32_t
 PmdXchg::tx_burst(void **pkts, std::uint32_t n, TimeNs now,
                   AccessSink *sink)
 {
+    AcctScope acct_scope(sink, kAcctDriverTx);
     if (PMILL_TRACE_ON(tracer_))
         tracer_->set_now(now);
     // Return completed buffers to the application as spares.

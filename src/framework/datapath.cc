@@ -63,6 +63,10 @@ class CopyingDatapath : public Datapath {
         const std::uint32_t n =
             pmd_.rx_burst(now, mbufs, ctx.opts().burst, &ctx);
         batch.count = n;
+        // Everything past the PMD is the Copying model's conversion
+        // work: Packet allocation, the mbuf->Packet field copy, and
+        // object construction.
+        AcctScope acct_scope(ctx, kAcctMetadata);
         for (std::uint32_t i = 0; i < n; ++i) {
             RteMbuf *m = mbufs[i].m;
 
@@ -110,6 +114,9 @@ class CopyingDatapath : public Datapath {
     {
         MbufRef mbufs[kMaxBurst];
         std::uint32_t n = 0;
+        // The Packet->mbuf conversion and Packet-object release are
+        // metadata work; the nested mbuf free retags itself kMempool.
+        AcctScope acct_scope(ctx, kAcctMetadata);
         for (std::uint32_t i = 0; i < batch.count; ++i) {
             PacketHandle &h = batch[i];
             if (h.dropped) {
@@ -235,6 +242,9 @@ class OverlayDatapath : public Datapath {
         const std::uint32_t n =
             pmd_.rx_burst(now, mbufs, ctx.opts().burst, &ctx);
         batch.count = n;
+        // Overlaying's (small) conversion: annotation init and the
+        // optional VPP-style field copy.
+        AcctScope acct_scope(ctx, kAcctMetadata);
         for (std::uint32_t i = 0; i < n; ++i) {
             RteMbuf *m = mbufs[i].m;
             PacketHandle &h = batch[i];
@@ -271,6 +281,7 @@ class OverlayDatapath : public Datapath {
     {
         MbufRef mbufs[kMaxBurst];
         std::uint32_t n = 0;
+        AcctScope acct_scope(ctx, kAcctMetadata);
         for (std::uint32_t i = 0; i < batch.count; ++i) {
             PacketHandle &h = batch[i];
             auto *m = static_cast<RteMbuf *>(h.backing);
@@ -406,6 +417,7 @@ class XchgDatapath : public Datapath, public XchgAdapter {
         const std::uint32_t n =
             pmd_.rx_burst(now, pkts, ctx.opts().burst, &ctx);
         batch.count = n;
+        AcctScope acct_scope(ctx, kAcctMetadata);
         for (std::uint32_t i = 0; i < n; ++i) {
             auto *xp = static_cast<XPkt *>(pkts[i]);
             PacketHandle &h = batch[i];
@@ -426,6 +438,7 @@ class XchgDatapath : public Datapath, public XchgAdapter {
     {
         void *pkts[kMaxBurst];
         std::uint32_t n = 0;
+        AcctScope acct_scope(ctx, kAcctMetadata);
         for (std::uint32_t i = 0; i < batch.count; ++i) {
             PacketHandle &h = batch[i];
             auto *xp = static_cast<XPkt *>(h.backing);
@@ -490,6 +503,10 @@ class XchgDatapath : public Datapath, public XchgAdapter {
     {
         if (spares_.empty())
             return false;
+        // The spare-buffer ring is X-Change's stand-in for the
+        // mempool: account its touches under the same bucket so the
+        // metadata models stay comparable.
+        AcctScope acct_scope(sink, kAcctMempool);
         sink_load(sink, spares_mem_.addr, 8);
         Spare sp{};
         spares_.pop(sp);
@@ -537,6 +554,7 @@ class XchgDatapath : public Datapath, public XchgAdapter {
         auto *xp = static_cast<XPkt *>(pkt);
         xp->arrival = t;
         const std::uint32_t off = layout_.offset_of(Field::kTimestamp);
+        AcctScope acct_scope(sink, kAcctMetadata);
         sink_store(sink, xp->meta_addr + off, 8);
         std::memcpy(xp->meta_host + off, &t, 8);
     }
@@ -552,6 +570,7 @@ class XchgDatapath : public Datapath, public XchgAdapter {
     tx_buffer_addr(void *pkt, AccessSink *sink) override
     {
         auto *xp = static_cast<XPkt *>(pkt);
+        AcctScope acct_scope(sink, kAcctMetadata);
         sink_load(sink, xp->meta_addr + layout_.offset_of(Field::kDataAddr),
                   8);
         return xp->buf_addr;
@@ -567,6 +586,7 @@ class XchgDatapath : public Datapath, public XchgAdapter {
     tx_len(void *pkt, AccessSink *sink) override
     {
         auto *xp = static_cast<XPkt *>(pkt);
+        AcctScope acct_scope(sink, kAcctMetadata);
         sink_load(sink, xp->meta_addr + layout_.offset_of(Field::kLen), 4);
         return xp->len;
     }
@@ -589,6 +609,7 @@ class XchgDatapath : public Datapath, public XchgAdapter {
         std::uint8_t *chost =
             buf_mem_.host + idx * kBufStride + kMbufHeadroomBytes;
         (void)host;
+        AcctScope acct_scope(sink, kAcctMempool);
         sink_store(sink, spares_mem_.addr, 8);
         const bool ok = spares_.push(Spare{canonical, chost});
         PMILL_ASSERT(ok, "spare ring overflow");
@@ -620,6 +641,9 @@ class XchgDatapath : public Datapath, public XchgAdapter {
     {
         const std::uint32_t off = layout_.offset_of(f);
         const std::uint32_t sz = field_size(f);
+        // Conversion-function writes into the application object are
+        // metadata-model work even when invoked from inside the PMD.
+        AcctScope acct_scope(sink, kAcctMetadata);
         sink_store(sink, xp->meta_addr + off, sz);
         std::memcpy(xp->meta_host + off, &v, sz);
     }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/accounting/cycle_account.hh"
 #include "src/common/types.hh"
 #include "src/mem/access_sink.hh"
 #include "src/mem/cache.hh"
@@ -123,7 +124,15 @@ class ExecContext final : public AccessSink {
     ExecContext(CacheHierarchy &caches, const CostModel &cost,
                 const PipelineOpts &opts, double freq_ghz)
         : caches_(caches), cost_(cost), opts_(opts), freq_ghz_(freq_ghz)
-    {}
+    {
+        // Per-event stall costs in cycles, pre-scaled by the MLP
+        // overlap so the ledger charge mirrors the wall_ns accrual
+        // exactly (count * per-event ns * overlap * freq).
+        const CacheConfig &cc = caches_.config();
+        acct_tlb_cycles_ = cc.tlb_miss_ns * cost_.mem_overlap * freq_ghz_;
+        acct_llc_cycles_ = cc.llc_ns * cost_.mem_overlap * freq_ghz_;
+        acct_dram_cycles_ = cc.dram_ns * cost_.mem_overlap * freq_ghz_;
+    }
 
     // --- AccessSink ---
     void
@@ -134,6 +143,20 @@ class ExecContext final : public AccessSink {
         c_.wall_ns += r.wall_ns * cost_.mem_overlap;
         c_.instructions += cost_.instr_per_access;
         ++c_.accesses;
+        // Cycle accounting: same quantities, attributed to the current
+        // scope. The component guards are host-only fast-outs (the
+        // counts are almost always zero); a skipped zero charge equals
+        // an applied zero charge, so the ledger is unaffected.
+        acct_.charge(acct_scope_, kAcctAccess, r.core_cycles);
+        if (r.llc_trips != 0)
+            acct_.charge(acct_scope_, kAcctLlcStall,
+                         r.llc_trips * acct_llc_cycles_);
+        if (r.dram_fills != 0)
+            acct_.charge(acct_scope_, kAcctDramStall,
+                         r.dram_fills * acct_dram_cycles_);
+        if (r.tlb_misses != 0)
+            acct_.charge(acct_scope_, kAcctTlbStall,
+                         r.tlb_misses * acct_tlb_cycles_);
     }
 
     void
@@ -143,6 +166,7 @@ class ExecContext final : public AccessSink {
             cycles *= cost_.lto_compute_scale;
         c_.compute_cycles += cycles;
         c_.instructions += instructions;
+        acct_.charge(acct_scope_, kAcctCompute, cycles);
     }
 
     /// @name Convenience wrappers used by elements.
@@ -208,12 +232,25 @@ class ExecContext final : public AccessSink {
     /** Zero the counters (cache state stays warm). */
     void reset() { c_ = ExecCounters{}; }
 
+    /// @name Cycle-accounting ledger (src/accounting/).
+    /// The ledger is cumulative for the context's lifetime; the engine
+    /// snapshots it at measurement start and reads deltas, so reset()
+    /// intentionally leaves it alone.
+    /// @{
+    CycleAccount &account() { return acct_; }
+    const CycleAccount &account() const { return acct_; }
+    /// @}
+
   private:
     CacheHierarchy &caches_;
     CostModel cost_;
     PipelineOpts opts_;
     double freq_ghz_;
     ExecCounters c_;
+    CycleAccount acct_;
+    double acct_tlb_cycles_ = 0;
+    double acct_llc_cycles_ = 0;
+    double acct_dram_cycles_ = 0;
 };
 
 } // namespace pmill

@@ -224,6 +224,10 @@ Pipeline::process(PacketBatch &batch, ExecContext &ctx)
     if (PMILL_UNLIKELY(tron_))
         trace_batch_ = tracer_->next_batch_id();
 
+    // The graph walk's own glue — heap chase and per-packet framework
+    // cost — is framework time, whatever scope the caller left set.
+    AcctScope acct_scope(ctx, kAcctFramework);
+
     // Per-packet pointer chase through the fragmented heap (vanilla
     // dynamic graph only; the paper's static graph removes it).
     if (!opts_.static_graph && frag_) {
@@ -286,11 +290,18 @@ Pipeline::run_from(int idx, PacketBatch &batch, ExecContext &ctx,
         tracer_->record(TraceEventKind::kElementEnter,
                         trace_base_ns_ + ctx.elapsed_ns(), 0, trace_batch_,
                         span, batch.count);
-    ctx.dispatch(batch.count);
-    ctx.load(e->state().addr, 16);
-
     const std::uint32_t before = batch.count;
-    e->process(batch, ctx);
+    {
+        // Attribute the same window ElementStats measures — dispatch,
+        // state touch, and the element's own work — to the element's
+        // accounting scope. Table/sink charges made by the element
+        // inherit the scope through the shared ExecContext.
+        AcctScope elem_scope(ctx, static_cast<std::uint16_t>(
+                                      kAcctElementBase + idx));
+        ctx.dispatch(batch.count);
+        ctx.load(e->state().addr, 16);
+        e->process(batch, ctx);
+    }
 
     const ExecCounters &c1 = ctx.counters();
     ElementStats &es = elem_stats_[static_cast<std::size_t>(idx)];

@@ -28,6 +28,20 @@ class AccessSink {
 
     /** Account pure compute work (ALU cycles and retired instrs). */
     virtual void on_compute(Cycles cycles, double instructions) = 0;
+
+    /// @name Cycle-accounting scope (src/accounting/).
+    /// Plain non-virtual members so code holding only an AccessSink*
+    /// (drivers, tables, the mempool) can retag its charges without a
+    /// virtual hop; sinks that do not account simply ignore the tag.
+    /// Use AcctScope (cycle_account.hh) rather than calling these
+    /// directly — it restores the previous scope on exit.
+    /// @{
+    std::uint16_t acct_scope() const { return acct_scope_; }
+    void acct_set_scope(std::uint16_t scope) { acct_scope_ = scope; }
+    /// @}
+
+  protected:
+    std::uint16_t acct_scope_ = 0;
 };
 
 /** Account a load if @p sink is non-null. */

@@ -395,6 +395,9 @@ CacheHierarchy::access_range(std::uint64_t first, std::uint64_t last,
         AccessResult r = access_line(ln, ln / kLinesPerPage, type);
         total.core_cycles += r.core_cycles;
         total.wall_ns += r.wall_ns;
+        total.tlb_misses += r.tlb_misses;
+        total.llc_trips += r.llc_trips;
+        total.dram_fills += r.dram_fills;
         if (r.level > total.level)
             total.level = r.level;
     }
@@ -422,6 +425,7 @@ CacheHierarchy::cpu_line_miss(std::uint64_t line, bool is_load,
         ++stats_.l2_store_misses;
 
     r.wall_ns += cfg_.llc_ns;
+    ++r.llc_trips;
     if (llc_.lookup(line)) {
         l2_.insert_absent(line);
         l1_.insert_absent(line);
@@ -437,6 +441,7 @@ CacheHierarchy::cpu_line_miss(std::uint64_t line, bool is_load,
     }
 
     r.wall_ns += cfg_.dram_ns;
+    ++r.dram_fills;
     llc_.insert_absent(line);
     l2_.insert_absent(line);
     l1_.insert_absent(line);

@@ -85,6 +85,17 @@ struct AccessResult {
     HitLevel level = HitLevel::kL1;
     double core_cycles = 0.0;  ///< Core-clocked latency component.
     double wall_ns = 0.0;      ///< Uncore latency component (fixed ns).
+
+    /// @name Uncore latency decomposition (cycle accounting).
+    /// wall_ns == tlb_misses * tlb_miss_ns + llc_trips * llc_ns +
+    /// dram_fills * dram_ns; counts rather than nanoseconds so the
+    /// accounting layer can reconstruct each component exactly.
+    /// @{
+    std::uint32_t tlb_misses = 0;  ///< TLB walks charged.
+    std::uint32_t llc_trips = 0;   ///< Lines that paid the LLC trip
+                                   ///< (every L2 miss, hit or not).
+    std::uint32_t dram_fills = 0;  ///< Lines that additionally hit DRAM.
+    /// @}
 };
 
 /** Counters matching the perf events the paper reports. */
@@ -429,6 +440,7 @@ class CacheHierarchy {
             if (cfg_.tlb_enable && PMILL_UNLIKELY(!tlb_.access(page))) {
                 ++stats_.tlb_misses;
                 r.wall_ns += cfg_.tlb_miss_ns;
+                ++r.tlb_misses;
             }
             const bool is_load = (type == AccessType::kLoad);
             if (is_load)

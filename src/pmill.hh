@@ -9,6 +9,8 @@
 #ifndef PMILL_PMILL_HH
 #define PMILL_PMILL_HH
 
+#include "src/accounting/acct_report.hh"
+#include "src/accounting/cycle_account.hh"
 #include "src/common/histogram.hh"
 #include "src/common/log.hh"
 #include "src/common/random.hh"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstring>
 #include <limits>
 
@@ -273,6 +274,63 @@ Engine::register_telemetry()
             v += core->poll_wait_cycles;
         return v;
     });
+
+    // Cycle-accounting bucket columns (summed over cores, cumulative
+    // cycles; the sampler turns them into per-interval shares). One
+    // column per fixed scope, one per pipeline element, plus the
+    // cross-scope stall components and the ledger total.
+    if (CycleAccount::kCompiledIn) {
+        auto sum_scope = [this](std::uint16_t scope) {
+            double v = 0;
+            for (const auto &core : cores_)
+                v += CycleAccount::cycles(
+                    core->ctx->account().scope_total(scope));
+            return v;
+        };
+        for (std::uint16_t s = 0; s < kAcctNumFixedScopes; ++s) {
+            metrics_.add_probe_counter(
+                strprintf("acct_%s_cycles", acct_scope_name(s)),
+                [sum_scope, s] { return sum_scope(s); });
+        }
+        const auto acct_elems = cores_[0]->pipe->elements();
+        for (std::size_t ei = 0; ei < acct_elems.size(); ++ei) {
+            std::string label = acct_elems[ei]->name().empty()
+                                    ? acct_elems[ei]->class_name()
+                                    : acct_elems[ei]->name();
+            for (char &c : label)
+                if (!std::isalnum(static_cast<unsigned char>(c)))
+                    c = '_';
+            const std::uint16_t scope = static_cast<std::uint16_t>(
+                kAcctElementBase + ei);
+            metrics_.add_probe_counter(
+                strprintf("acct_el_%s_cycles", label.c_str()),
+                [sum_scope, scope] { return sum_scope(scope); });
+        }
+        auto sum_component = [this](std::uint32_t comp) {
+            double v = 0;
+            for (const auto &core : cores_)
+                v += CycleAccount::cycles(
+                    core->ctx->account().component_total(comp));
+            return v;
+        };
+        metrics_.add_probe_counter("acct_llc_stall_cycles", [sum_component] {
+            return sum_component(kAcctLlcStall);
+        });
+        metrics_.add_probe_counter("acct_dram_stall_cycles",
+                                   [sum_component] {
+                                       return sum_component(kAcctDramStall);
+                                   });
+        metrics_.add_probe_counter("acct_tlb_stall_cycles", [sum_component] {
+            return sum_component(kAcctTlbStall);
+        });
+        metrics_.add_probe_counter("acct_total_cycles", [this] {
+            double v = 0;
+            for (const auto &core : cores_)
+                v += CycleAccount::cycles(
+                    core->ctx->account().total_fixed());
+            return v;
+        });
+    }
 
     // Flow-table state (NAT/conntrack): one prefixed group per
     // stateful element, summed/aggregated over per-core instances.
@@ -566,8 +624,11 @@ Engine::step_core(Core &core)
     core.rr_cursor = (core.rr_cursor + 1) %
                      static_cast<std::uint32_t>(core.dps.size());
 
-    if (!any)
+    if (!any) {
+        // Dry poll: the poll cost is idle time in the ledger.
+        AcctScope idle_scope(ctx, kAcctIdle);
         ctx.on_compute(ctx.cost().poll_empty_cycles, 10);
+    }
 
     const TimeNs elapsed = ctx.elapsed_ns();
     const TimeNs dt = elapsed - core.last_elapsed;
@@ -584,6 +645,11 @@ Engine::step_core(Core &core)
             core.poll_wait_cycles +=
                 core.poll_backoff_ns * machine_.freq_ghz;
             core.clock += core.poll_backoff_ns;
+            // The sleep advances the clock outside the ExecContext, so
+            // it is charged to the ledger directly (same ns * freq).
+            ctx.account().charge_ns(kAcctIdle, kAcctCompute,
+                                    core.poll_backoff_ns,
+                                    machine_.freq_ghz);
         } else {
             // Skip ahead to the next completion if the queues are dry
             // (busy-polling consumes no simulated events we care
@@ -595,6 +661,9 @@ Engine::step_core(Core &core)
             if (next > core.clock && next < kInf) {
                 core.poll_wait_cycles +=
                     (next - core.clock) * machine_.freq_ghz;
+                ctx.account().charge_ns(kAcctIdle, kAcctCompute,
+                                        next - core.clock,
+                                        machine_.freq_ghz);
                 core.clock = next;
             }
         }
@@ -635,6 +704,9 @@ void
 Engine::idle_spin(Core &core, TimeNs until)
 {
     ExecContext &ctx = *core.ctx;
+    // The whole stretch — empty polls and backoff sleeps alike — is
+    // idle time in the ledger.
+    AcctScope idle_scope(ctx, kAcctIdle);
     const double empty_cycles = ctx.cost().poll_empty_cycles;
     const std::uint32_t ndp =
         static_cast<std::uint32_t>(core.dps.size());
@@ -653,6 +725,9 @@ Engine::idle_spin(Core &core, TimeNs until)
             core.poll_wait_cycles +=
                 core.poll_backoff_ns * machine_.freq_ghz;
             core.clock += core.poll_backoff_ns;
+            ctx.account().charge_ns(kAcctIdle, kAcctCompute,
+                                    core.poll_backoff_ns,
+                                    machine_.freq_ghz);
         }
     }
 }
@@ -735,6 +810,8 @@ Engine::run(const RunConfig &rc)
     std::vector<ExecCounters> exec_base(cores_.size());
     std::vector<MemStats> mem_base(cores_.size());
     std::uint64_t drops_base = 0;
+    acct_base_.assign(cores_.size(), CycleAccount::Snapshot{});
+    acct_clock_base_.assign(cores_.size(), 0.0);
 
     auto maybe_start_measuring = [&](TimeNs t) {
         if (measuring_ || t < warm_end)
@@ -743,6 +820,8 @@ Engine::run(const RunConfig &rc)
         for (std::size_t c = 0; c < cores_.size(); ++c) {
             exec_base[c] = cores_[c]->ctx->counters();
             mem_base[c] = cores_[c]->caches->stats();
+            acct_base_[c] = cores_[c]->ctx->account().snapshot();
+            acct_clock_base_[c] = cores_[c]->clock;
         }
         drops_base = 0;
         for (auto &nic : nics_)
@@ -820,7 +899,9 @@ Engine::run(const RunConfig &rc)
     }
     drain_all_tx(end);
     if (sampler_ && measuring_) {
-        sampler_->advance(end);
+        // Emit remaining whole intervals, then flush the trailing
+        // partial interval (marked) so no tail time vanishes.
+        sampler_->finish(end);
         if (controller_)
             controller_->observe(sampler_->timeline(), *this);
     }
@@ -841,6 +922,33 @@ Engine::run(const RunConfig &rc)
         drops += nic->stats().rx_drops_no_desc + nic->stats().rx_drops_pcie;
     r.rx_drops = drops - drops_base;
 
+    // Cycle-accounting conservation: the bucket sum must equal the
+    // ledger total bit-exactly (integer construction), and the ledger
+    // total must match the core-clock advance up to floating-point
+    // rounding. Both checked per core, every run.
+    acct_measured_.assign(cores_.size(), AcctCoreBreakdown{});
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        AcctCoreBreakdown &b = acct_measured_[c];
+        b.delta = cores_[c]->ctx->account().snapshot().delta_since(
+            acct_base_[c]);
+        b.clock_cycles =
+            (cores_[c]->clock - acct_clock_base_[c]) * machine_.freq_ghz;
+        b.residual = b.delta.total - CycleAccount::to_fixed(b.clock_cycles);
+        if (CycleAccount::kCompiledIn) {
+            PMILL_ASSERT(b.delta.sum_minus_total() == 0,
+                         "cycle-accounting leak on core %zu: bucket sum "
+                         "differs from total by %lld fixed-point units",
+                         c,
+                         static_cast<long long>(b.delta.sum_minus_total()));
+            const double res_cycles = CycleAccount::cycles(b.residual);
+            PMILL_ASSERT(
+                std::fabs(res_cycles) <= 1.0 + 1e-5 * b.clock_cycles,
+                "cycle-accounting residual %g cycles on core %zu "
+                "(window %g cycles): a clock advance bypassed the ledger",
+                res_cycles, c, b.clock_cycles);
+        }
+    }
+
     double instr = 0, cycles = 0;
     for (std::size_t c = 0; c < cores_.size(); ++c) {
         ExecCounters d =
@@ -858,6 +966,18 @@ Engine::run(const RunConfig &rc)
     r.llc_kmisses_per_100ms =
         static_cast<double>(r.mem.llc_load_misses) / windows_100ms / 1000.0;
     return r;
+}
+
+std::vector<std::string>
+Engine::acct_scope_labels() const
+{
+    std::vector<std::string> labels;
+    for (std::uint16_t s = 0; s < kAcctNumFixedScopes; ++s)
+        labels.push_back(acct_scope_name(s));
+    for (const Element *e : cores_[0]->pipe->elements())
+        labels.push_back(e->name().empty() ? e->class_name()
+                                           : e->name());
+    return labels;
 }
 
 const Timeline &

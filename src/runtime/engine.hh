@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/accounting/cycle_account.hh"
 #include "src/common/histogram.hh"
 #include "src/common/log.hh"
 #include "src/control/actuator.hh"
@@ -245,6 +246,39 @@ class Engine : public Actuator {
     /** DUT core frequency (GHz). */
     double freq_ghz() const { return machine_.freq_ghz; }
 
+    /// @name Cycle accounting (src/accounting/).
+    /// @{
+    /** Measured-window ledger breakdown of one core. */
+    struct AcctCoreBreakdown {
+        CycleAccount::Snapshot delta;  ///< ledger delta over the window
+        /// Core-clock advance over the same window, in cycles:
+        /// (clock_end - clock_start) * freq_ghz.
+        double clock_cycles = 0;
+        /// Ledger total minus the clock advance, in fixed point — the
+        /// deterministic floating-point rounding residual of the
+        /// second conservation tie (epsilon-asserted in run()).
+        CycleAccount::Fixed residual = 0;
+    };
+
+    /**
+     * Per-core measured-window breakdowns of the most recent run
+     * (empty before the first run, or when accounting is compiled
+     * out). Bucket sums equal totals exactly; run() asserts it.
+     */
+    const std::vector<AcctCoreBreakdown> &
+    acct_breakdown() const
+    {
+        return acct_measured_;
+    }
+
+    /**
+     * Human labels aligned with ledger scope indices: the fixed
+     * scopes, then one label per pipeline element (instance name, or
+     * class name when unnamed).
+     */
+    std::vector<std::string> acct_scope_labels() const;
+    /// @}
+
     /** p99 latency (us) of the most recent run. */
     double last_p99_us() const { return last_p99_us_; }
 
@@ -363,6 +397,13 @@ class Engine : public Actuator {
     CounterHandle m_tx_pkts_;  ///< hot-path slot counters
     CounterHandle m_tx_wire_bits_;
     Histogram *lat_interval_ = nullptr;  ///< per-interval latency
+    /// @}
+
+    /// @name Cycle accounting (measured-window baselines + results).
+    /// @{
+    std::vector<CycleAccount::Snapshot> acct_base_;
+    std::vector<TimeNs> acct_clock_base_;
+    std::vector<AcctCoreBreakdown> acct_measured_;
     /// @}
 
     /// @name Tracing.

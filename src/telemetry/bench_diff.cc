@@ -69,6 +69,13 @@ classify_column(const std::string &column)
                          "ghz", "freq", "rate", "improvement",
                          "speedup", "ratio"}))
         return ColumnClass::kInformational;
+    // Cycle-accounting breakdowns ("acct_idle_pct", "acct_llc_cycles"):
+    // shares shift legitimately with any modeled change, so they stay
+    // informational — only the eq_acct_* conservation columns above
+    // gate. Checked before the latency tokens because the names also
+    // contain "cycles"/"stall".
+    if (has_token(toks, {"acct"}))
+        return ColumnClass::kInformational;
     if (has_token(toks, {"latency", "p50", "p99", "p999", "us", "ns",
                          "miss", "misses", "drop", "drops", "cycles",
                          "cpp", "stall", "stalls"}))

@@ -95,6 +95,8 @@ export_jsonl(const Timeline &tl, std::ostream &os)
                      r.values.size(), tl.columns.size());
         os << "{\"type\":\"sample\",\"t_us\":" << json_number(r.t_us)
            << ",\"dt_us\":" << json_number(r.dt_us);
+        if (r.partial)
+            os << ",\"partial\":true";
         for (std::size_t c = 0; c < tl.columns.size(); ++c)
             os << ",\"" << json_escape(tl.columns[c])
                << "\":" << json_number(r.values[c]);
@@ -105,7 +107,7 @@ export_jsonl(const Timeline &tl, std::ostream &os)
 void
 export_csv(const Timeline &tl, std::ostream &os)
 {
-    std::vector<std::string> header = {"t_us", "dt_us"};
+    std::vector<std::string> header = {"t_us", "dt_us", "partial"};
     header.insert(header.end(), tl.columns.begin(), tl.columns.end());
     write_csv_record(os, header);
     for (const TimelineRow &r : tl.rows) {
@@ -113,7 +115,8 @@ export_csv(const Timeline &tl, std::ostream &os)
                      "timeline row has %zu values for %zu columns",
                      r.values.size(), tl.columns.size());
         std::vector<std::string> cells = {json_number(r.t_us),
-                                          json_number(r.dt_us)};
+                                          json_number(r.dt_us),
+                                          r.partial ? "1" : "0"};
         for (double v : r.values)
             cells.push_back(json_number(v));
         write_csv_record(os, cells);

@@ -77,15 +77,26 @@ Sampler::advance(TimeNs now)
 {
     if (!started_)
         return;
-    while (boundary(ticks_ + 1) <= now)
-        emit();
+    while (boundary(ticks_ + 1) <= now) {
+        emit_row(boundary(ticks_ + 1), false);
+        ++ticks_;
+    }
 }
 
 void
-Sampler::emit()
+Sampler::finish(TimeNs end)
+{
+    if (!started_)
+        return;
+    advance(end);
+    if (end > prev_)
+        emit_row(end, true);
+}
+
+void
+Sampler::emit_row(TimeNs bound, bool partial)
 {
     const std::size_t n = schema_metrics_;
-    const TimeNs bound = boundary(ticks_ + 1);
 
     // Pass 1: cumulative counter values and their interval deltas.
     std::vector<double> cum(n, 0.0), delta(n, 0.0);
@@ -100,6 +111,7 @@ Sampler::emit()
     TimelineRow row;
     row.dt_us = (bound - prev_) / 1000.0;
     row.t_us = (bound - t0_) / 1000.0;
+    row.partial = partial;
     row.values.reserve(tl_.columns.size());
     const double dt_sec = (bound - prev_) * 1e-9;
 
@@ -143,7 +155,6 @@ Sampler::emit()
                  row.values.size(), tl_.columns.size());
     tl_.rows.push_back(std::move(row));
     prev_ = bound;
-    ++ticks_;
 }
 
 } // namespace pmill

@@ -35,6 +35,11 @@ namespace pmill {
 struct TimelineRow {
     double t_us = 0;   ///< interval end, relative to measurement start
     double dt_us = 0;  ///< interval length
+    /// True for the end-of-run flush of a trailing partial interval
+    /// (dt_us < the configured interval): its counter deltas cover
+    /// less time than every other row's, so per-interval comparisons
+    /// must either skip it or normalize by dt_us.
+    bool partial = false;
     std::vector<double> values;  ///< aligned with Timeline::columns
 };
 
@@ -82,6 +87,15 @@ class Sampler {
      */
     void advance(TimeNs now);
 
+    /**
+     * The run ended at @p end: emit every whole interval up to @p end,
+     * then flush whatever is left beyond the last boundary as one
+     * short row marked TimelineRow::partial. Without this flush the
+     * tail of a run whose duration is not a multiple of the interval
+     * silently vanished from the timeline.
+     */
+    void finish(TimeNs end);
+
     const Timeline &timeline() const { return tl_; }
     double interval_us() const
     {
@@ -96,7 +110,8 @@ class Sampler {
         return t0_ + static_cast<double>(tick * interval_ns_);
     }
 
-    void emit();
+    /** Emit one row covering (prev_, bound]. */
+    void emit_row(TimeNs bound, bool partial);
 
     MetricsRegistry &reg_;
     std::uint64_t interval_ns_;  ///< whole nanoseconds, >= 1

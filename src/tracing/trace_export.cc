@@ -4,8 +4,10 @@
 #include <ostream>
 #include <vector>
 
+#include "src/accounting/cycle_account.hh"
 #include "src/common/log.hh"
 #include "src/telemetry/export.hh"
+#include "src/telemetry/sampler.hh"
 
 namespace pmill {
 
@@ -18,12 +20,78 @@ ts_us(TimeNs t_ns)
     return strprintf("%.4f", t_ns / 1000.0);
 }
 
-} // namespace
+/** True for a per-scope accounting bucket column (acct_*_cycles). */
+bool
+is_acct_scope_column(const std::string &name)
+{
+    for (std::uint16_t s = 0; s < kAcctNumFixedScopes; ++s)
+        if (name == strprintf("acct_%s_cycles", acct_scope_name(s)))
+            return true;
+    // Per-element buckets.
+    return name.rfind("acct_el_", 0) == 0 && name.size() > 15 &&
+           name.compare(name.size() - 7, 7, "_cycles") == 0;
+}
+
+/**
+ * Timeline rows as counter events: one stacked multi-series track for
+ * the accounting scope buckets (they tile the core's time, so the
+ * stack's envelope is the total), one track per remaining column.
+ */
+void
+append_timeline_counters(const Timeline &tl, TimeNs t0_ns,
+                         std::vector<std::string> &events)
+{
+    std::vector<std::size_t> acct_cols, plain_cols;
+    for (std::size_t c = 0; c < tl.columns.size(); ++c) {
+        if (is_acct_scope_column(tl.columns[c]))
+            acct_cols.push_back(c);
+        else
+            plain_cols.push_back(c);
+    }
+    for (const TimelineRow &row : tl.rows) {
+        const std::string ts = ts_us(t0_ns + row.t_us * 1000.0);
+        if (!acct_cols.empty()) {
+            std::string args;
+            for (std::size_t c : acct_cols) {
+                const std::string &name = tl.columns[c];
+                // acct_<series>_cycles -> <series>
+                const std::string series =
+                    name.substr(5, name.size() - 5 - 7);
+                if (!args.empty())
+                    args += ",";
+                args += strprintf("\"%s\":%s",
+                                  json_escape(series).c_str(),
+                                  json_number(row.values[c]).c_str());
+            }
+            events.push_back(strprintf(
+                "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%s,"
+                "\"name\":\"acct_cycles\",\"args\":{%s}}",
+                ts.c_str(), args.c_str()));
+        }
+        for (std::size_t c : plain_cols)
+            events.push_back(strprintf(
+                "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%s,"
+                "\"name\":\"%s\",\"args\":{\"value\":%s}}",
+                ts.c_str(), json_escape(tl.columns[c]).c_str(),
+                json_number(row.values[c]).c_str()));
+    }
+}
 
 void
-export_chrome_trace(const Tracer &tracer, std::ostream &os)
+write_chrome_json(const std::vector<std::string> &events, std::ostream &os)
 {
-    std::vector<std::string> events;
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\n" << events[i];
+    }
+    os << "\n]}\n";
+}
+
+void
+collect_trace_events(const Tracer &tracer, std::vector<std::string> &events)
+{
     const std::size_t n = tracer.size();
 
     // Pass 1: discover cores (thread tracks) and pair up sampled
@@ -139,14 +207,26 @@ export_chrome_trace(const Tracer &tracer, std::ostream &os)
             ts_us(p.tx_ns).c_str(),
             static_cast<unsigned long long>(pid)));
     }
+}
 
-    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-    for (std::size_t i = 0; i < events.size(); ++i) {
-        if (i)
-            os << ",";
-        os << "\n" << events[i];
-    }
-    os << "\n]}\n";
+} // namespace
+
+void
+export_chrome_trace(const Tracer &tracer, std::ostream &os)
+{
+    std::vector<std::string> events;
+    collect_trace_events(tracer, events);
+    write_chrome_json(events, os);
+}
+
+void
+export_chrome_trace(const Tracer &tracer, const Timeline &tl, TimeNs t0_ns,
+                    std::ostream &os)
+{
+    std::vector<std::string> events;
+    collect_trace_events(tracer, events);
+    append_timeline_counters(tl, t0_ns, events);
+    write_chrome_json(events, os);
 }
 
 void

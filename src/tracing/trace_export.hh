@@ -19,6 +19,8 @@
 
 namespace pmill {
 
+struct Timeline;
+
 /**
  * Write the ring as Chrome trace-event JSON.
  *
@@ -34,6 +36,19 @@ namespace pmill {
  * Timestamps are microseconds of simulated time.
  */
 void export_chrome_trace(const Tracer &tracer, std::ostream &os);
+
+/**
+ * Same, plus the sampled Timeline as Perfetto counter ("C") tracks:
+ * the cycle-accounting scope columns (acct_*_cycles) merge into one
+ * multi-series "acct_cycles" track — Perfetto renders it as a stacked
+ * per-interval bucket breakdown under the flame view — and every
+ * other column becomes its own counter track.
+ *
+ * @param t0_ns Simulated time of measurement start (Timeline rows'
+ *        t_us are relative to it; trace timestamps are absolute).
+ */
+void export_chrome_trace(const Tracer &tracer, const Timeline &tl,
+                         TimeNs t0_ns, std::ostream &os);
 
 /** Write one resolved JSON object per ring record, oldest first. */
 void export_trace_jsonl(const Tracer &tracer, std::ostream &os);

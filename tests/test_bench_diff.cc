@@ -111,6 +111,26 @@ TEST(BenchDiffClassify, DirectionFromName)
               ColumnClass::kInformational);
 }
 
+TEST(BenchDiffClassify, AcctColumnsAreInformationalUnlessEqGated)
+{
+    // Cycle-accounting shares move with any legitimate model change;
+    // they never gate on their own, even though the names carry
+    // otherwise-gating tokens like "cycles" and "stall".
+    EXPECT_EQ(classify_column("acct_idle_pct"),
+              ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("acct_llc_stall_cycles"),
+              ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("acct_el_nat_cycles"),
+              ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("Acct busy(%)"),
+              ColumnClass::kInformational);
+
+    // ...but the conservation invariants are hard-gated: the eq token
+    // wins over acct, so ANY numeric change fails the diff.
+    EXPECT_EQ(classify_column("eq_acct_sum"), ColumnClass::kExact);
+    EXPECT_EQ(classify_column("eq_acct_residual"), ColumnClass::kExact);
+}
+
 TEST(BenchDiffLoad, TableRoundTrip)
 {
     ScratchDir dir("load");

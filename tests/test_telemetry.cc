@@ -166,11 +166,60 @@ TEST(Export, JsonEscapingAndNumbers)
     EXPECT_EQ(json_number(1.0 / 0.0), "0");
 }
 
+TEST(Export, JsonEscapesEveryControlCharacter)
+{
+    // Named escapes for the common whitespace controls...
+    EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+    EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+    EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+    // ...\uXXXX for the rest of C0 (raw control bytes are invalid in
+    // JSON strings).
+    EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+    EXPECT_EQ(json_escape(std::string("a\x1f") + "b"), "a\\u001fb");
+    std::string nul = "a";
+    nul.push_back('\0');
+    nul += "b";
+    EXPECT_EQ(json_escape(nul), "a\\u0000b");
+    // Quote and backslash, adjacent (the order of escaping matters).
+    EXPECT_EQ(json_escape("\\\""), "\\\\\\\"");
+    // Printable ASCII and bytes >= 0x20 pass through untouched.
+    EXPECT_EQ(json_escape("plain ~text"), "plain ~text");
+}
+
 TEST(Export, CsvQuoting)
 {
     std::ostringstream os;
     write_csv_record(os, {"plain", "has,comma", "has\"quote"});
     EXPECT_EQ(os.str(), "plain,\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Export, CsvQuotesNewlinesAndQuotesCombined)
+{
+    std::ostringstream os;
+    write_csv_record(os, {"line\nbreak", "a\"b,c", ""});
+    EXPECT_EQ(os.str(), "\"line\nbreak\",\"a\"\"b,c\",\n");
+}
+
+TEST(Export, CsvQuotesColumnNamesWithCommas)
+{
+    // A metric named with a comma must round-trip through the CSV
+    // header as one quoted cell, not silently split into two columns.
+    MetricsRegistry reg;
+    CounterHandle c = reg.add_counter("tbl_a,b_inserts");
+    Sampler s(reg, 100.0);
+    s.start(0.0);
+    c.add(4);
+    s.advance(100'000.0);
+
+    std::ostringstream os;
+    export_csv(s.timeline(), os);
+    std::istringstream is(os.str());
+    std::string header;
+    ASSERT_TRUE(std::getline(is, header));
+    EXPECT_EQ(header, "t_us,dt_us,partial,\"tbl_a,b_inserts\"");
+    std::string row;
+    ASSERT_TRUE(std::getline(is, row));
+    EXPECT_EQ(row, "100,100,0,4");
 }
 
 Timeline
@@ -218,12 +267,74 @@ TEST(Export, CsvRoundTrip)
     std::istringstream is(os.str());
     std::string header;
     ASSERT_TRUE(std::getline(is, header));
-    EXPECT_EQ(header, "t_us,dt_us,pkts,occ");
+    EXPECT_EQ(header, "t_us,dt_us,partial,pkts,occ");
     std::string row;
     ASSERT_TRUE(std::getline(is, row));
-    EXPECT_EQ(row, "100,100,7,0.25");
+    EXPECT_EQ(row, "100,100,0,7,0.25");
     ASSERT_TRUE(std::getline(is, row));
-    EXPECT_EQ(row, "200,100,3,0.25");
+    EXPECT_EQ(row, "200,100,0,3,0.25");
+}
+
+TEST(Sampler, FinishFlushesTrailingPartialInterval)
+{
+    MetricsRegistry reg;
+    CounterHandle c = reg.add_counter("pkts");
+    Sampler s(reg, 100.0);
+    s.start(0.0);
+    c.add(10);
+    s.advance(100'000.0);  // one whole interval
+    c.add(3);
+    s.finish(130'000.0);  // run ends 30 us into the next interval
+
+    const Timeline &tl = s.timeline();
+    ASSERT_EQ(tl.rows.size(), 2u);
+    EXPECT_FALSE(tl.rows[0].partial);
+    EXPECT_DOUBLE_EQ(tl.value(0, "pkts"), 10.0);
+    // The flushed tail: explicitly marked, short, and it carries the
+    // counts that previously vanished.
+    EXPECT_TRUE(tl.rows[1].partial);
+    EXPECT_DOUBLE_EQ(tl.rows[1].t_us, 130.0);
+    EXPECT_DOUBLE_EQ(tl.rows[1].dt_us, 30.0);
+    EXPECT_DOUBLE_EQ(tl.value(1, "pkts"), 3.0);
+}
+
+TEST(Sampler, FinishOnExactBoundaryAddsNoPartialRow)
+{
+    MetricsRegistry reg;
+    CounterHandle c = reg.add_counter("pkts");
+    Sampler s(reg, 100.0);
+    s.start(0.0);
+    c.add(5);
+    s.advance(100'000.0);
+    s.finish(200'000.0);  // lands exactly on boundary 2
+
+    const Timeline &tl = s.timeline();
+    ASSERT_EQ(tl.rows.size(), 2u);
+    EXPECT_FALSE(tl.rows[0].partial);
+    EXPECT_FALSE(tl.rows[1].partial)
+        << "an exact-boundary finish must not fabricate a zero-width row";
+}
+
+TEST(Sampler, PartialRowMarkedInExports)
+{
+    MetricsRegistry reg;
+    CounterHandle c = reg.add_counter("pkts");
+    Sampler s(reg, 100.0);
+    s.start(0.0);
+    c.add(2);
+    s.finish(40'000.0);
+
+    std::ostringstream js;
+    export_jsonl(s.timeline(), js);
+    EXPECT_NE(js.str().find("\"partial\":true"), std::string::npos);
+
+    std::ostringstream cs;
+    export_csv(s.timeline(), cs);
+    std::istringstream is(cs.str());
+    std::string header, row;
+    ASSERT_TRUE(std::getline(is, header));
+    ASSERT_TRUE(std::getline(is, row));
+    EXPECT_EQ(row, "40,40,1,2");
 }
 
 TEST(EngineTelemetry, TimelineCoversMeasuredWindow)

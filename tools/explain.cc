@@ -1,0 +1,89 @@
+/**
+ * @file
+ * pmill_explain: render a ranked bottleneck report from a run's
+ * cycle-accounting JSONL.
+ *
+ * Usage:
+ *   pmill_explain <stats.jsonl> [--top N]
+ *   pmill_explain -            # read stdin
+ *
+ * The input is any JSONL stream containing the `{"type":"acct"}` /
+ * `{"type":"acct_check"}` lines that `pmill_run --stats-json` (or any
+ * caller of acct_write_jsonl) emits; all other line types are skipped,
+ * so pointing it at the full stats file Just Works. Exits 0 on a
+ * rendered report, 1 when the stream has no accounting lines (e.g. a
+ * -DPMILL_ACCT=OFF build), 2 on usage/IO errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/accounting/acct_report.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr, "usage: %s <stats.jsonl | -> [--top N]\n", argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::size_t top_n = 5;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            top_n = static_cast<std::size_t>(std::atoi(argv[++i]));
+        } else if (arg.rfind("--top=", 0) == 0) {
+            top_n = static_cast<std::size_t>(
+                std::atoi(arg.c_str() + std::strlen("--top=")));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (path.empty() || top_n == 0) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    pmill::AcctReport report;
+    std::string err;
+    bool ok = false;
+    if (path == "-") {
+        ok = pmill::acct_report_from_jsonl(std::cin, &report, &err);
+    } else {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "pmill_explain: cannot open %s\n",
+                         path.c_str());
+            return 2;
+        }
+        ok = pmill::acct_report_from_jsonl(in, &report, &err);
+    }
+    if (!ok) {
+        std::fprintf(stderr, "pmill_explain: %s\n", err.c_str());
+        return 1;
+    }
+
+    std::ostringstream os;
+    pmill::acct_render_report(report, os, top_n);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}
