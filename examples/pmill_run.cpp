@@ -15,6 +15,12 @@
  *   --freq GHZ          core frequency (default 2.3)
  *   --offered GBPS      offered load (default 100)
  *   --cores N           RSS cores (default 1)
+ *   --host-threads N    host worker threads driving the simulated
+ *                       cores (default 1). N > 1 runs the epoch
+ *                       scheduler in parallel; results are
+ *                       bit-identical for every N. Rejected when N
+ *                       exceeds --cores; tracing forces N = 1 (with a
+ *                       warning) because the trace ring is shared.
  *   --nics N            NICs polled by core 0 (default 1)
  *   --size BYTES        fixed-size traffic instead of the campus trace
  *   --workload SPEC     synthesize traffic instead of replaying a
@@ -93,7 +99,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <config.click> [--opt LEVEL] [--model M] "
-                 "[--freq GHZ] [--offered GBPS] [--cores N] [--nics N] "
+                 "[--freq GHZ] [--offered GBPS] [--cores N] "
+                 "[--host-threads N] [--nics N] "
                  "[--size BYTES] [--workload SPEC] [--duration US] "
                  "[--verify] [--report] [--explain] "
                  "[--json] [--stats-json PATH] [--stats-csv PATH] "
@@ -195,6 +202,7 @@ main(int argc, char **argv)
     double freq = 2.3, offered = 100.0, duration_us = 2500.0;
     double sample_us = 100.0;
     std::uint32_t cores = 1, nics = 1, fixed_size = 0;
+    std::uint32_t host_threads = 1;
     bool do_verify = false, do_report = false, do_json = false;
     bool do_explain = false;
     std::string stats_json_path, stats_csv_path;
@@ -247,6 +255,10 @@ main(int argc, char **argv)
         } else if (a == "--cores") {
             cores = parse_u32_arg("--cores", next(), 1, 64,
                                   "a core count in [1, 64]");
+        } else if (a == "--host-threads") {
+            host_threads =
+                parse_u32_arg("--host-threads", next(), 1, 64,
+                              "a host thread count in [1, 64]");
         } else if (a == "--nics") {
             nics = parse_u32_arg("--nics", next(), 1, 8,
                                  "a NIC count in [1, 8]");
@@ -322,6 +334,14 @@ main(int argc, char **argv)
                      "supported topology (multicore runs use a single "
                      "NIC with RSS; multi-NIC runs use a single core)\n",
                      cores, nics);
+        return 2;
+    }
+    if (host_threads > cores) {
+        std::fprintf(stderr,
+                     "pmill_run: --host-threads %u exceeds --cores %u "
+                     "(a worker with no simulated core to drive would "
+                     "idle forever)\n",
+                     host_threads, cores);
         return 2;
     }
     if (!decision_log_path.empty() && control_policy.empty()) {
@@ -422,6 +442,15 @@ main(int argc, char **argv)
 
     const bool tracing =
         !trace_out_path.empty() || !trace_jsonl_path.empty();
+    if (tracing && host_threads > 1) {
+        // The engine would print the same warning; saying it here too
+        // makes the cause visible next to the flags that triggered it.
+        std::fprintf(stderr,
+                     "pmill_run: warning: tracing serializes host "
+                     "execution (the trace ring is shared); running "
+                     "with 1 worker instead of %u\n",
+                     host_threads);
+    }
     if (tracing) {
         TracerConfig tc;
         tc.sample_rate = trace_rate;
@@ -437,6 +466,7 @@ main(int argc, char **argv)
     rc.sample_interval_us = sample_us;
     rc.load_step_us = load_step_us;
     rc.load_step_gbps = load_step_gbps;
+    rc.host_threads = host_threads;
 
     const auto host_t0 = std::chrono::steady_clock::now();
     RunResult r = engine.run(rc);
@@ -555,7 +585,7 @@ main(int argc, char **argv)
             << ",\"sim_s\":" << json_number(sim_s)
             << ",\"sim_per_wall\":" << json_number(sim_per_wall)
             << ",\"sim_pkts_per_s\":" << json_number(host_pkts_per_s)
-            << "}\n";
+            << ",\"host_threads\":" << host_threads << "}\n";
     }
 
     if (!stats_csv_path.empty()) {
@@ -678,9 +708,11 @@ main(int argc, char **argv)
     std::printf("llc:        %.0f kilo-loads, %.1f kilo-misses per "
                 "100 ms; IPC %.2f\n",
                 r.llc_kloads_per_100ms, r.llc_kmisses_per_100ms, r.ipc);
-    std::printf("host:       %.0f ms wall, %.2f Msim-pkt/s, "
-                "%.4f sim-s per wall-s\n",
-                host_wall_s * 1e3, host_pkts_per_s / 1e6, sim_per_wall);
+    std::printf("host:       %.0f ms wall (%u thread%s), "
+                "%.2f Msim-pkt/s, %.4f sim-s per wall-s\n",
+                host_wall_s * 1e3, host_threads,
+                host_threads == 1 ? "" : "s", host_pkts_per_s / 1e6,
+                sim_per_wall);
     if (controller) {
         std::printf("control:    %s policy, %zu decision(s)\n",
                     controller->policy().name(),

@@ -50,16 +50,34 @@ bool
 NicDevice::deliver(const std::uint8_t *frame, std::uint32_t len, TimeNs now)
 {
     const std::uint32_t qi = rss_queue(frame, len);
+    return deliver_impl(qi, frame, len, now, &pcie_rx_free_, &stats_);
+}
+
+bool
+NicDevice::deliver_sharded(std::uint32_t queue, const std::uint8_t *frame,
+                           std::uint32_t len, TimeNs now)
+{
+    PMILL_ASSERT(queue < queues_.size(), "bad queue");
+    Queue &q = queues_[queue];
+    return deliver_impl(queue, frame, len, now, &q.pcie_rx_free,
+                        &q.rx_stats);
+}
+
+bool
+NicDevice::deliver_impl(std::uint32_t qi, const std::uint8_t *frame,
+                        std::uint32_t len, TimeNs now, TimeNs *pcie_free,
+                        NicStats *st)
+{
     Queue &q = queues_[qi];
 
     if (q.rx_free.empty()) {
-        ++stats_.rx_drops_no_desc;
+        ++st->rx_drops_no_desc;
         PMILL_TRACE(tracer_, TraceEventKind::kDrop, now, 0, 0, trace_span_,
                     kDropNoRxDesc);
         return false;
     }
     if (q.completions.full()) {
-        ++stats_.rx_drops_pcie;
+        ++st->rx_drops_pcie;
         PMILL_TRACE(tracer_, TraceEventKind::kDrop, now, 0, 0, trace_span_,
                     kDropPcie);
         return false;
@@ -76,8 +94,8 @@ NicDevice::deliver(const std::uint8_t *frame, std::uint32_t len, TimeNs now)
     const double pcie_ns =
         static_cast<double>(len + cfg_.pcie_pkt_overhead_bytes) /
         cfg_.pcie_bytes_per_sec * 1e9;
-    const TimeNs dma_done = std::max(now, pcie_rx_free_) + pcie_ns;
-    pcie_rx_free_ = dma_done;
+    const TimeNs dma_done = std::max(now, *pcie_free) + pcie_ns;
+    *pcie_free = dma_done;
 
     // Device writes: frame payload into the posted buffer, then the
     // CQE. Both land in the LLC DDIO ways.
@@ -104,9 +122,30 @@ NicDevice::deliver(const std::uint8_t *frame, std::uint32_t len, TimeNs now)
     const bool pushed = q.completions.push(cqe);
     PMILL_ASSERT(pushed, "completion ring overflow despite check");
 
-    ++stats_.rx_frames;
-    stats_.rx_bytes += len;
+    ++st->rx_frames;
+    st->rx_bytes += len;
     return true;
+}
+
+NicStats
+NicDevice::stats() const
+{
+    NicStats s = stats_;
+    for (const Queue &q : queues_) {
+        s.rx_frames += q.rx_stats.rx_frames;
+        s.rx_bytes += q.rx_stats.rx_bytes;
+        s.rx_drops_no_desc += q.rx_stats.rx_drops_no_desc;
+        s.rx_drops_pcie += q.rx_stats.rx_drops_pcie;
+    }
+    return s;
+}
+
+void
+NicDevice::stats_reset()
+{
+    stats_ = NicStats{};
+    for (Queue &q : queues_)
+        q.rx_stats = NicStats{};
 }
 
 std::uint32_t
@@ -169,14 +208,14 @@ NicDevice::register_metrics(MetricsRegistry &reg,
                             const std::string &prefix) const
 {
     reg.add_probe_counter(prefix + "rx_frames", [this] {
-        return static_cast<double>(stats_.rx_frames);
+        return static_cast<double>(stats().rx_frames);
     });
     reg.add_probe_counter(prefix + "tx_frames", [this] {
-        return static_cast<double>(stats_.tx_frames);
+        return static_cast<double>(stats().tx_frames);
     });
     reg.add_probe_counter(prefix + "rx_drops", [this] {
-        return static_cast<double>(stats_.rx_drops_no_desc +
-                                   stats_.rx_drops_pcie);
+        const NicStats s = stats();
+        return static_cast<double>(s.rx_drops_no_desc + s.rx_drops_pcie);
     });
     reg.add_gauge(prefix + "rx_ring_occupancy",
                   [this] { return rx_ring_occupancy(); });
@@ -185,18 +224,26 @@ NicDevice::register_metrics(MetricsRegistry &reg,
 bool
 NicDevice::post_tx(std::uint32_t queue, const TxDescriptor &desc)
 {
-    Ring<TxDescriptor> &pending = queues_[queue].tx_pending;
-    const bool was_empty = pending.empty();
-    const bool ok = pending.push(desc);
+    Queue &q = queues_[queue];
+    const bool was_empty = q.tx_pending.empty();
+    const bool ok = q.tx_pending.push(desc);
     if (ok && was_empty)
-        tx_next_done_ = 0;
+        q.tx_bound = 0;
     return ok;
 }
 
 void
-NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out)
+NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out,
+                    bool defer_dma)
 {
-    if (now < tx_next_done_)
+    // Early-out when no queue's cached completion bound has been
+    // reached. The min over per-queue bounds equals the shared bound
+    // the pre-shard code kept (same estimates, same 0-reset on a post
+    // to an empty queue), so the decision is identical.
+    TimeNs bound = std::numeric_limits<double>::infinity();
+    for (const auto &q : queues_)
+        bound = std::min(bound, q.tx_bound);
+    if (now < bound)
         return;
 
     // Round-robin across queues while any head frame can finish
@@ -220,12 +267,17 @@ NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out)
 
             // Device reads the TX descriptor, then the frame bytes
             // (from LLC when DDIO kept them resident, else DRAM).
+            // With defer_dma the caller replays both reads on the
+            // owning core's thread; only the addresses are recorded.
             const std::uint32_t qi =
                 static_cast<std::uint32_t>(&q - queues_.data());
-            CacheHierarchy &qc = *queue_caches_[qi];
-            qc.access(tx_desc_addr(qi, q.tx_pending.next_pop_slot()),
-                      kDescBytes, AccessType::kDevRead);
-            qc.access(head.buf_addr, head.len, AccessType::kDevRead);
+            const Addr desc_addr =
+                tx_desc_addr(qi, q.tx_pending.next_pop_slot());
+            if (!defer_dma) {
+                CacheHierarchy &qc = *queue_caches_[qi];
+                qc.access(desc_addr, kDescBytes, AccessType::kDevRead);
+                qc.access(head.buf_addr, head.len, AccessType::kDevRead);
+            }
 
             TxCompletion c;
             c.buf_addr = head.buf_addr;
@@ -234,6 +286,7 @@ NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out)
             c.arrival_ns = head.arrival_ns;
             c.departure_ns = departure;
             c.queue = qi;
+            c.desc_addr = desc_addr;
             out.push_back(c);
 
             pcie_tx_free_ = dma_done;
@@ -247,14 +300,15 @@ NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out)
         }
     }
 
-    // Cache the earliest completion the remaining heads could reach.
+    // Cache the earliest completion each remaining head could reach.
     // The estimates use the final pipe state of this pass; any later
     // pass only advances pcie_tx_free_/wire_tx_free_, so these are
     // lower bounds and the early-out above is exact.
-    TimeNs next = std::numeric_limits<double>::infinity();
-    for (const auto &q : queues_) {
-        if (q.tx_pending.empty())
+    for (auto &q : queues_) {
+        if (q.tx_pending.empty()) {
+            q.tx_bound = std::numeric_limits<double>::infinity();
             continue;
+        }
         const TxDescriptor &head = q.tx_pending.front();
         const double pcie_ns =
             static_cast<double>(head.len + cfg_.pcie_pkt_overhead_bytes) /
@@ -262,9 +316,8 @@ NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out)
         const TimeNs dma_done =
             std::max(pcie_tx_free_, head.post_ns) + pcie_ns;
         const TimeNs wire_start = std::max(dma_done, wire_tx_free_);
-        next = std::min(next, wire_start + wire_time_ns(head.len));
+        q.tx_bound = wire_start + wire_time_ns(head.len);
     }
-    tx_next_done_ = next;
 }
 
 } // namespace pmill

@@ -76,6 +76,11 @@ struct TxCompletion {
     TimeNs arrival_ns = 0;
     TimeNs departure_ns = 0;  ///< wire serialization end
     std::uint32_t queue = 0;  ///< TX queue the frame was posted on
+    /// Sim address of the drained TX descriptor slot. Lets a caller
+    /// that drained with deferred DMA replay the device's descriptor
+    /// and frame reads on the owning core's hierarchy later (epoch
+    /// scheduler: the reads move to the core's worker thread).
+    Addr desc_addr = 0;
 };
 
 /** Static NIC parameters. */
@@ -122,8 +127,14 @@ class NicDevice {
     void bind_queue_cache(std::uint32_t queue, CacheHierarchy *caches);
 
     const NicConfig &config() const { return cfg_; }
-    const NicStats &stats() const { return stats_; }
-    void stats_reset() { stats_ = NicStats{}; }
+    /**
+     * Aggregate device counters. RX counters accumulate in a per-queue
+     * shard when frames arrive via deliver_sharded() (so concurrent
+     * worker threads never touch a shared cell); this sums the shards
+     * into the device-level base on every call, hence by value.
+     */
+    NicStats stats() const;
+    void stats_reset();
 
     /**
      * Register this device's telemetry under @p prefix: frame/drop
@@ -165,6 +176,18 @@ class NicDevice {
     bool deliver(const std::uint8_t *frame, std::uint32_t len, TimeNs now);
 
     /**
+     * Arrival variant for the epoch scheduler: the caller already
+     * RSS-routed the frame to @p queue, and all mutable state touched
+     * (ring, PCIe pipe shard, stat shard, the queue-bound cache
+     * hierarchy) is private to that queue, so concurrent calls for
+     * different queues are race-free. Models a per-queue RX PCIe
+     * pipe — a documented divergence from deliver()'s shared pipe
+     * (DESIGN.md section 9).
+     */
+    bool deliver_sharded(std::uint32_t queue, const std::uint8_t *frame,
+                         std::uint32_t len, TimeNs now);
+
+    /**
      * Driver-side: pop up to @p max completed CQEs (arrival time
      * <= @p now) from @p queue into @p out. Device-side bookkeeping
      * only; the PMD separately accounts its own CQE loads.
@@ -192,8 +215,15 @@ class NicDevice {
      * time @p now. DMA reads of frame data are accounted as device
      * reads. Completions (with departure timestamps) are appended to
      * @p out; buffer ownership returns to the caller.
+     *
+     * With @p defer_dma the descriptor/frame device reads are NOT
+     * performed here: the caller replays them from the completion's
+     * desc_addr/buf_addr on the owning core's hierarchy (the epoch
+     * scheduler does this on the worker thread, keeping every cache
+     * access core-local). Timing and drain order are unchanged.
      */
-    void drain_tx(TimeNs now, std::vector<TxCompletion> &out);
+    void drain_tx(TimeNs now, std::vector<TxCompletion> &out,
+                  bool defer_dma = false);
 
     /** RSS queue that would be selected for @p frame. */
     std::uint32_t rss_queue(const std::uint8_t *frame,
@@ -245,10 +275,34 @@ class NicDevice {
         MemHandle cq_mem;   ///< CQE ring backing (ring_size x 64 B)
         MemHandle rxd_mem;  ///< RX descriptor ring backing
         MemHandle txd_mem;  ///< TX descriptor ring backing
+        /// RX PCIe pipe shard used by deliver_sharded() only (the
+        /// legacy deliver() serializes all queues through the shared
+        /// pcie_rx_free_).
+        TimeNs pcie_rx_free = 0;
+        /// RX counters accumulated by deliver_sharded() (summed into
+        /// stats() on read). Writable from the queue's worker thread.
+        NicStats rx_stats;
+        /// Per-queue lower bound on this queue's next TX completion
+        /// time (see drain_tx). The device-level early-out is the min
+        /// over queues — provably the same decision the old shared
+        /// bound made. Reset to 0 when a post lands on a previously
+        /// empty queue (a fresh head may beat the cached bound); the
+        /// reset touches only this queue's cell, so concurrent posts
+        /// on different queues stay race-free.
+        TimeNs tx_bound = 0;
         Queue(std::uint32_t rx_size, std::uint32_t tx_size)
             : rx_free(rx_size), completions(rx_size), tx_pending(tx_size)
         {}
     };
+
+    /**
+     * Shared arrival body: @p pcie_free and @p st select the shared
+     * members (legacy path, bit-exact with the pre-shard code) or the
+     * queue's shards (deliver_sharded).
+     */
+    bool deliver_impl(std::uint32_t qi, const std::uint8_t *frame,
+                      std::uint32_t len, TimeNs now, TimeNs *pcie_free,
+                      NicStats *st);
 
     NicConfig cfg_;
     CacheHierarchy &caches_;
@@ -260,13 +314,6 @@ class NicDevice {
     TimeNs pcie_rx_free_ = 0;  ///< next instant the RX PCIe pipe frees
     TimeNs pcie_tx_free_ = 0;
     TimeNs wire_tx_free_ = 0;  ///< next instant the TX wire frees
-    /// Lower bound on the next TX completion time, computed from the
-    /// queue heads at the end of each drain pass. Departure estimates
-    /// only grow as the PCIe/wire pipes advance, so a drain_tx() call
-    /// before this instant is provably a no-op and returns
-    /// immediately. Reset when a post lands on a previously empty
-    /// queue (a fresh head may beat the cached bound).
-    TimeNs tx_next_done_ = 0;
 };
 
 } // namespace pmill

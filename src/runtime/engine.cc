@@ -1,10 +1,13 @@
 #include "src/runtime/engine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <limits>
+#include <thread>
 
 #include "src/common/log.hh"
 #include "src/control/controller.hh"
@@ -63,6 +66,36 @@ arrival_key(TimeNs t)
     static_assert(sizeof(k) == sizeof(t));
     std::memcpy(&k, &t, sizeof(k));
     return k;
+}
+
+/**
+ * One pre-generated wire arrival, RSS-routed to its queue's deque by
+ * the conductor and consumed by the owning core's worker thread. The
+ * frame bytes either point into the (immutable) Trace arena or are an
+ * owned copy of the workload scratch buffer.
+ */
+struct PendingArrival {
+    TimeNs start = 0;  ///< generator emission time (event order key)
+    TimeNs done = 0;   ///< wire completion (NicDevice::deliver's now)
+    std::uint32_t len = 0;
+    const std::uint8_t *frame = nullptr;  ///< trace mode: arena bytes
+    std::vector<std::uint8_t> owned;      ///< workload mode: a copy
+};
+
+/** Pause-then-yield backoff for the epoch barrier spin loops. */
+inline void
+barrier_relax(unsigned &spins)
+{
+    if (++spins >= 16) {
+        spins = 0;
+        std::this_thread::yield();
+    } else {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#else
+        std::this_thread::yield();
+#endif
+    }
 }
 
 } // namespace
@@ -778,16 +811,53 @@ Engine::drain_all_tx(TimeNs now)
     }
 }
 
+void
+Engine::begin_measuring(std::vector<ExecCounters> &exec_base,
+                        std::vector<MemStats> &mem_base,
+                        std::uint64_t *drops_base, TimeNs warm_end)
+{
+    measuring_ = true;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        exec_base[c] = cores_[c]->ctx->counters();
+        mem_base[c] = cores_[c]->caches->stats();
+        acct_base_[c] = cores_[c]->ctx->account().snapshot();
+        acct_clock_base_[c] = cores_[c]->clock;
+    }
+    *drops_base = 0;
+    for (auto &nic : nics_) {
+        const NicStats s = nic->stats();
+        *drops_base += s.rx_drops_no_desc + s.rx_drops_pcie;
+    }
+    latency_->clear();
+    tx_pkts_ = 0;
+    tx_wire_bits_ = tx_frame_bits_ = 0;
+    // Align telemetry with the measured window: element counters
+    // restart and the sampler baselines every counter at the
+    // nominal window start (sample boundaries at warm_end + k*T).
+    for (auto &core : cores_)
+        core->pipe->reset_element_stats();
+    if (sampler_)
+        sampler_->start(warm_end);
+    // Restart the trace ring so it holds the measured window.
+    if (tracer_) {
+        tracer_->clear();
+        inflight_.clear();
+    }
+}
+
 RunResult
 Engine::run(const RunConfig &rc)
 {
+    PMILL_ASSERT(rc.host_threads <= cores_.size(),
+                 "host_threads %u exceeds the %zu simulated cores",
+                 rc.host_threads, cores_.size());
+
     offered_gbps_ =
         std::min(rc.offered_gbps, machine_.nic.link_gbps);
     PMILL_ASSERT(offered_gbps_ > 0, "offered load must be positive");
 
     latency_ = std::make_unique<Histogram>(rc.latency_range_us, 262144);
     const TimeNs warm_end = rc.warmup_us * 1000.0;
-    const TimeNs end = warm_end + rc.duration_us * 1000.0;
 
     measuring_ = false;
     tx_pkts_ = 0;
@@ -807,6 +877,20 @@ Engine::run(const RunConfig &rc)
     if (controller_)
         controller_->on_run_start(*this);
 
+    // host_threads == 0 is the historical serial loop; >= 1 on a
+    // multicore engine selects the epoch scheduler (thread-count-
+    // invariant results). A single core has nothing to parallelize.
+    if (rc.host_threads >= 1 && cores_.size() > 1)
+        return run_epoch(rc);
+    return run_serial(rc);
+}
+
+RunResult
+Engine::run_serial(const RunConfig &rc)
+{
+    const TimeNs warm_end = rc.warmup_us * 1000.0;
+    const TimeNs end = warm_end + rc.duration_us * 1000.0;
+
     std::vector<ExecCounters> exec_base(cores_.size());
     std::vector<MemStats> mem_base(cores_.size());
     std::uint64_t drops_base = 0;
@@ -816,32 +900,7 @@ Engine::run(const RunConfig &rc)
     auto maybe_start_measuring = [&](TimeNs t) {
         if (measuring_ || t < warm_end)
             return;
-        measuring_ = true;
-        for (std::size_t c = 0; c < cores_.size(); ++c) {
-            exec_base[c] = cores_[c]->ctx->counters();
-            mem_base[c] = cores_[c]->caches->stats();
-            acct_base_[c] = cores_[c]->ctx->account().snapshot();
-            acct_clock_base_[c] = cores_[c]->clock;
-        }
-        drops_base = 0;
-        for (auto &nic : nics_)
-            drops_base += nic->stats().rx_drops_no_desc +
-                          nic->stats().rx_drops_pcie;
-        latency_->clear();
-        tx_pkts_ = 0;
-        tx_wire_bits_ = tx_frame_bits_ = 0;
-        // Align telemetry with the measured window: element counters
-        // restart and the sampler baselines every counter at the
-        // nominal window start (sample boundaries at warm_end + k*T).
-        for (auto &core : cores_)
-            core->pipe->reset_element_stats();
-        if (sampler_)
-            sampler_->start(warm_end);
-        // Restart the trace ring so it holds the measured window.
-        if (tracer_) {
-            tracer_->clear();
-            inflight_.clear();
-        }
+        begin_measuring(exec_base, mem_base, &drops_base, warm_end);
     };
 
     const TimeNs gen_stop = rc.generator_stop_us > 0
@@ -906,6 +965,14 @@ Engine::run(const RunConfig &rc)
             controller_->observe(sampler_->timeline(), *this);
     }
 
+    return finish_run(exec_base, mem_base, drops_base, warm_end, end);
+}
+
+RunResult
+Engine::finish_run(const std::vector<ExecCounters> &exec_base,
+                   const std::vector<MemStats> &mem_base,
+                   std::uint64_t drops_base, TimeNs warm_end, TimeNs end)
+{
     RunResult r;
     r.duration_ns = end - warm_end;
     r.tx_pkts = tx_pkts_;
@@ -918,8 +985,10 @@ Engine::run(const RunConfig &rc)
     last_p99_us_ = r.p99_latency_us;
 
     std::uint64_t drops = 0;
-    for (auto &nic : nics_)
-        drops += nic->stats().rx_drops_no_desc + nic->stats().rx_drops_pcie;
+    for (auto &nic : nics_) {
+        const NicStats s = nic->stats();
+        drops += s.rx_drops_no_desc + s.rx_drops_pcie;
+    }
     r.rx_drops = drops - drops_base;
 
     // Cycle-accounting conservation: the bucket sum must equal the
@@ -966,6 +1035,315 @@ Engine::run(const RunConfig &rc)
     r.llc_kmisses_per_100ms =
         static_cast<double>(r.mem.llc_load_misses) / windows_100ms / 1000.0;
     return r;
+}
+
+RunResult
+Engine::run_epoch(const RunConfig &rc)
+{
+    // The epoch scheduler targets the RSS fan-out topology: one NIC,
+    // queue q bound to core q, so every queue's rings/shards/cache
+    // hierarchy are private to exactly one core.
+    PMILL_ASSERT(nics_.size() == 1,
+                 "epoch scheduler requires the single-NIC RSS topology");
+    NicDevice &nic = *nics_[0];
+
+    const TimeNs warm_end = rc.warmup_us * 1000.0;
+    const TimeNs end = warm_end + rc.duration_us * 1000.0;
+    const std::uint32_t ncores =
+        static_cast<std::uint32_t>(cores_.size());
+
+    std::uint32_t nthreads = rc.host_threads;
+    if (PMILL_TRACE_ON(tracer_.get()) && nthreads > 1) {
+        warn("tracing serializes host execution: running %u simulated "
+             "cores on 1 host thread (asked for %u)",
+             ncores, nthreads);
+        nthreads = 1;
+    }
+
+    const double epoch_ns = rc.epoch_us * 1000.0;
+    PMILL_ASSERT(epoch_ns >= 1.0, "epoch_us must be at least 0.001 (1 ns)");
+
+    // Edge grid: every instant the conductor must own all shared
+    // state — the epoch multiples, the measuring flip, each sampler
+    // boundary (reproduced bit-for-bit from the sampler's own integer
+    // arithmetic), and the run end. Duplicates collapse, so an edge
+    // landing exactly on an epoch multiple yields one edge, not a
+    // zero-length epoch.
+    std::vector<TimeNs> edges;
+    for (std::uint64_t k = 1; static_cast<double>(k) * epoch_ns < end; ++k)
+        edges.push_back(static_cast<double>(k) * epoch_ns);
+    if (warm_end > 0 && warm_end < end)
+        edges.push_back(warm_end);
+    if (sampler_) {
+        const std::uint64_t ivns = sampler_->interval_ns();
+        for (std::uint64_t k = 1;; ++k) {
+            const TimeNs b = warm_end + static_cast<double>(k * ivns);
+            if (b >= end)
+                break;
+            edges.push_back(b);
+        }
+    }
+    edges.push_back(end);
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    std::vector<ExecCounters> exec_base(cores_.size());
+    std::vector<MemStats> mem_base(cores_.size());
+    std::uint64_t drops_base = 0;
+    acct_base_.assign(cores_.size(), CycleAccount::Snapshot{});
+    acct_clock_base_.assign(cores_.size(), 0.0);
+
+    const TimeNs gen_stop = rc.generator_stop_us > 0
+                                ? warm_end + rc.generator_stop_us * 1000.0
+                                : kInf;
+
+    // Per-core work queues, all filled by the conductor at edges and
+    // drained by the owning core's worker inside the epoch: arrivals
+    // (RSS pre-routed; queue q == core q) and TX-completion effects
+    // (deferred DMA replays + buffer returns, in drain order).
+    std::vector<std::deque<PendingArrival>> arrivals(cores_.size());
+    std::vector<std::vector<TxCompletion>> pending_tx(cores_.size());
+
+    // Pre-generate every arrival in [gen.next_start, hi). Exact:
+    // the generator's pacing (next_start advance, load-step switch,
+    // burst gap scale) never depends on delivery outcomes, so
+    // synthesizing ahead of the cores is the same frame/time sequence
+    // the serial loop would produce one event at a time.
+    auto pregen = [&](TimeNs hi) {
+        Generator &gen = gens_[0];
+        while (gen.next_start < hi && gen.next_start < gen_stop) {
+            PendingArrival pa;
+            pa.start = gen.next_start;
+            const std::uint8_t *frame;
+            std::uint32_t len;
+            double gap_scale = 1.0;
+            if (!workloads_.empty()) {
+                len = workloads_[0]->next_frame(
+                    gen_buf_.data(),
+                    static_cast<std::uint32_t>(gen_buf_.size()),
+                    &gap_scale);
+                frame = gen_buf_.data();
+            } else {
+                frame = trace_.data(gen.cursor);
+                len = trace_.len(gen.cursor);
+                gen.cursor = (gen.cursor + 1) % trace_.size();
+                pa.frame = frame;
+            }
+            pa.len = len;
+            pa.done = gen.next_start + nic.wire_time_ns(len);
+            const std::uint32_t qi = nic.rss_queue(frame, len);
+            if (!workloads_.empty())
+                pa.owned.assign(frame, frame + len);
+            const double offered =
+                (load_step_gbps_ > 0 && gen.next_start >= load_step_at_)
+                    ? load_step_gbps_
+                    : offered_gbps_;
+            const double wire_bits =
+                static_cast<double>((len + kWireOverheadBytes) * 8);
+            gen.next_start += wire_bits / offered * gap_scale;
+            arrivals[qi].push_back(std::move(pa));
+        }
+    };
+
+    // Apply core @p ci's TX-completion effects from the last edge, in
+    // drain order: the deferred device reads (descriptor, then frame)
+    // on the core's own hierarchy, then the buffer return. Runs on
+    // the worker at epoch start — the same position in the core's
+    // access sequence for every thread count.
+    auto apply_tx_effects = [&](std::uint32_t ci) {
+        std::vector<TxCompletion> &fx = pending_tx[ci];
+        if (fx.empty())
+            return;
+        CacheHierarchy &qc = *cores_[ci]->caches;
+        for (const TxCompletion &c : fx) {
+            qc.access(c.desc_addr, NicDevice::kDescBytes,
+                      AccessType::kDevRead);
+            qc.access(c.buf_addr, c.len, AccessType::kDevRead);
+            queue_dp_[0][c.queue]->on_tx_complete(c);
+        }
+        fx.clear();
+    };
+
+    // Advance core @p ci to (at least) @p t1. Touches only the core's
+    // own state, its queue's NIC shards, and its arrival deque — safe
+    // to run concurrently with other cores' segments.
+    auto run_core_epoch = [&](std::uint32_t ci, TimeNs t1) {
+        Core &core = *cores_[ci];
+        apply_tx_effects(ci);
+        std::deque<PendingArrival> &aq = arrivals[ci];
+        const bool tron = PMILL_TRACE_ON(tracer_.get());
+        for (;;) {
+            // Deliver every arrival the core has reached. Arrival
+            // wins ties with the poll at the same instant, matching
+            // the serial loop's `next_arrival <= next_core` order.
+            while (!aq.empty() && aq.front().start <= core.clock) {
+                const PendingArrival &pa = aq.front();
+                nic.deliver_sharded(
+                    ci, pa.frame ? pa.frame : pa.owned.data(), pa.len,
+                    pa.done);
+                aq.pop_front();
+            }
+            if (core.clock >= t1)
+                break;
+            TimeNs until = t1;
+            if (!aq.empty())
+                until = std::min(until, aq.front().start);
+            // Idle fast-forward (bit-identical spin replay) whenever
+            // this core's queues are dry; unlike the serial loop no
+            // global quiescence is needed — drains and sampling only
+            // happen at edges, and other cores cannot reach this one
+            // mid-epoch.
+            bool can_ff = !tron;
+            if (can_ff) {
+                for (const auto &bq : core.dps) {
+                    if (nics_[bq.nic]->next_cqe_time(bq.queue) < kInf) {
+                        can_ff = false;
+                        break;
+                    }
+                }
+            }
+            if (can_ff)
+                idle_spin(core, until);
+            else
+                step_core(core);
+        }
+    };
+
+    // Worker j owns cores {c : c % nthreads == j}, processed in
+    // ascending core order. The partition cannot affect results: each
+    // core's segment reads/writes only its own state.
+    auto run_share = [&](std::uint32_t share, TimeNs t1) {
+        for (std::uint32_t ci = share; ci < ncores; ci += nthreads)
+            run_core_epoch(ci, t1);
+    };
+
+    // Epoch barrier: the conductor publishes the epoch target then
+    // bumps `go` (release); workers acquire it, run their share, and
+    // bump `done`. All cross-thread data passed through the work
+    // queues is ordered by these two edges.
+    std::atomic<std::uint64_t> go{0};
+    std::atomic<std::uint32_t> done{0};
+    std::atomic<bool> quit{false};
+    TimeNs epoch_t1 = 0;
+    std::vector<std::thread> pool;
+    if (nthreads > 1) {
+        pool.reserve(nthreads - 1);
+        for (std::uint32_t j = 1; j < nthreads; ++j) {
+            pool.emplace_back([&, j] {
+                std::uint64_t seen = 0;
+                unsigned spins = 0;
+                for (;;) {
+                    while (go.load(std::memory_order_acquire) == seen) {
+                        if (quit.load(std::memory_order_acquire))
+                            return;
+                        barrier_relax(spins);
+                    }
+                    ++seen;
+                    run_share(j, epoch_t1);
+                    done.fetch_add(1, std::memory_order_release);
+                }
+            });
+        }
+    }
+    auto parallel_epoch = [&](TimeNs t1) {
+        if (nthreads <= 1) {
+            for (std::uint32_t ci = 0; ci < ncores; ++ci)
+                run_core_epoch(ci, t1);
+            return;
+        }
+        epoch_t1 = t1;
+        done.store(0, std::memory_order_relaxed);
+        go.fetch_add(1, std::memory_order_release);
+        run_share(0, t1);
+        unsigned spins = 0;
+        while (done.load(std::memory_order_acquire) != nthreads - 1)
+            barrier_relax(spins);
+    };
+
+    // Conductor-side edge work: drain the wire up to @p now with
+    // deferred DMA, routing each completion's core-side effects to its
+    // owner and folding the telemetry exactly as the serial drain
+    // does. NIC index order, completion order within the drain.
+    auto drain_edge = [&](TimeNs now) {
+        const bool tron = PMILL_TRACE_ON(tracer_.get());
+        tx_scratch_.clear();
+        nic.drain_tx(now, tx_scratch_, /*defer_dma=*/true);
+        if (tx_scratch_.empty())
+            return;
+        std::uint64_t pkts = 0;
+        std::uint64_t wire_bits = 0;
+        std::uint64_t frame_bits = 0;
+        for (const TxCompletion &c : tx_scratch_) {
+            pending_tx[c.queue].push_back(c);
+            if (PMILL_UNLIKELY(tron) && !inflight_.empty()) {
+                auto it = inflight_.find(arrival_key(c.arrival_ns));
+                if (it != inflight_.end()) {
+                    tracer_->record(TraceEventKind::kTx, c.departure_ns,
+                                    it->second, 0, 0, c.len);
+                    inflight_.erase(it);
+                }
+            }
+            ++pkts;
+            wire_bits += (c.len + kWireOverheadBytes) * 8ull;
+            lat_interval_->record((c.departure_ns - c.arrival_ns) / 1000.0);
+            if (measuring_) {
+                frame_bits += c.len * 8ull;
+                latency_->record((c.departure_ns - c.arrival_ns) / 1000.0);
+                if (tx_capture_)
+                    tx_capture_(c.buf_host, c.len);
+            }
+        }
+        m_tx_pkts_.add(pkts);
+        m_tx_wire_bits_.add(wire_bits);
+        if (measuring_) {
+            tx_pkts_ += pkts;
+            tx_wire_bits_ += wire_bits;
+            tx_frame_bits_ += frame_bits;
+        }
+    };
+
+    // Zero warm-up: the window opens at t=0, before the first epoch.
+    if (!measuring_ && warm_end <= 0)
+        begin_measuring(exec_base, mem_base, &drops_base, warm_end);
+
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const TimeNs t1 = edges[i];
+        const bool last = i + 1 == edges.size();
+        // 1) Synthesize this epoch's arrivals (conductor; exact).
+        pregen(t1);
+        // 2) Cores advance to t1 in parallel.
+        parallel_epoch(t1);
+        // 3) Serial edge phase, fixed order: wire drain (pre-flip at
+        //    the warm_end edge, so the measured window is departures
+        //    in (warm_end, end] for every thread count), then the
+        //    measuring flip, then sampling + control.
+        drain_edge(t1);
+        if (!measuring_ && t1 >= warm_end)
+            begin_measuring(exec_base, mem_base, &drops_base, warm_end);
+        if (last) {
+            // Final effects are applied by the conductor (core order)
+            // so end-of-run state — pool occupancies, ledgers — does
+            // not depend on a worker that never runs again.
+            for (std::uint32_t ci = 0; ci < ncores; ++ci)
+                apply_tx_effects(ci);
+        }
+        if (sampler_ && measuring_) {
+            if (last)
+                sampler_->finish(end);
+            else
+                sampler_->advance(t1);
+            if (controller_)
+                controller_->observe(sampler_->timeline(), *this);
+        }
+    }
+
+    if (nthreads > 1) {
+        quit.store(true, std::memory_order_release);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    return finish_run(exec_base, mem_base, drops_base, warm_end, end);
 }
 
 std::vector<std::string>

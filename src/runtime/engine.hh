@@ -71,6 +71,25 @@ struct RunConfig {
     double load_step_us = 0.0;
     double load_step_gbps = 0.0;
     /// @}
+    /// @name Parallel host execution.
+    /// @{
+    /// Host threads advancing simulated cores. 0 (the default) keeps
+    /// the historical serial event loop and its exact interleaving —
+    /// every legacy golden/pinned result is produced by that path.
+    /// Any value >= 1 on a multicore engine selects the epoch
+    /// scheduler instead, whose results are bit-identical for EVERY
+    /// thread count (1 included) but are a different — equally
+    /// deterministic — schedule than the serial loop (cross-core
+    /// interaction resolves at epoch edges; DESIGN.md section 9).
+    /// Must not exceed the simulated core count; single-core engines
+    /// always run the serial loop.
+    std::uint32_t host_threads = 0;
+    /// Epoch length (simulated us) for the epoch scheduler. Results
+    /// do not depend on the host thread count for any epoch length;
+    /// the length trades conductor overhead against how promptly TX
+    /// drains/telemetry observe the cores.
+    double epoch_us = 1.0;
+    /// @}
 };
 
 /** Results of one run (the quantities the paper's figures report). */
@@ -358,6 +377,34 @@ class Engine : public Actuator {
     void deliver_next(std::uint32_t nic_idx);
 
     void drain_all_tx(TimeNs now);
+
+    /// @name run() backends (dispatch on RunConfig::host_threads).
+    /// @{
+    /** The historical serial event loop (bit-exact legacy results). */
+    RunResult run_serial(const RunConfig &rc);
+
+    /**
+     * Epoch scheduler: cores advance in parallel inside bounded time
+     * epochs; all cross-core/shared-structure work happens serially at
+     * epoch edges in config core order (DESIGN.md section 9).
+     */
+    RunResult run_epoch(const RunConfig &rc);
+
+    /**
+     * Flip into the measured window: snapshot per-core baselines (in
+     * config core order), reset window counters/element stats, start
+     * the sampler at @p warm_end, clear the trace ring.
+     */
+    void begin_measuring(std::vector<ExecCounters> &exec_base,
+                         std::vector<MemStats> &mem_base,
+                         std::uint64_t *drops_base, TimeNs warm_end);
+
+    /** Assemble the RunResult + conservation asserts (shared tail). */
+    RunResult finish_run(const std::vector<ExecCounters> &exec_base,
+                         const std::vector<MemStats> &mem_base,
+                         std::uint64_t drops_base, TimeNs warm_end,
+                         TimeNs end);
+    /// @}
 
     MachineConfig machine_;
     PipelineOpts opts_;

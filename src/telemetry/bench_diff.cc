@@ -66,8 +66,8 @@ classify_column(const std::string &column)
     // them so a changed sweep shows up as a row mismatch, not a fake
     // throughput regression.
     if (has_token(toks, {"offered", "bytes", "size", "len", "cores",
-                         "ghz", "freq", "rate", "improvement",
-                         "speedup", "ratio"}))
+                         "threads", "ghz", "freq", "rate",
+                         "improvement", "speedup", "ratio"}))
         return ColumnClass::kInformational;
     // Cycle-accounting breakdowns ("acct_idle_pct", "acct_llc_cycles"):
     // shares shift legitimately with any modeled change, so they stay

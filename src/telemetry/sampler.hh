@@ -101,6 +101,10 @@ class Sampler {
     {
         return static_cast<double>(interval_ns_) / 1000.0;
     }
+    /// Exact integer interval, for callers that must reproduce
+    /// boundary() bit-for-bit (the epoch scheduler aligns epoch edges
+    /// with sample boundaries).
+    std::uint64_t interval_ns() const { return interval_ns_; }
     bool started() const { return started_; }
 
   private:

@@ -131,6 +131,64 @@ TEST(BenchDiffClassify, AcctColumnsAreInformationalUnlessEqGated)
     EXPECT_EQ(classify_column("eq_acct_residual"), ColumnClass::kExact);
 }
 
+TEST(BenchDiffClassify, HostParallelColumns)
+{
+    // The host_parallel bench reports wall-clock scaling next to
+    // simulated-equivalence columns. The thread axis and the derived
+    // speedup ratio never gate; raw wall-clock cells are kHostWall
+    // (informational unless a host threshold is explicitly armed —
+    // shared runners and 1-CPU containers make them meaningless as a
+    // default gate); only the eq_ columns are exact-gated.
+    EXPECT_EQ(classify_column("Threads"), ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("speedup"), ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("wall_ms"), ColumnClass::kHostWall);
+    EXPECT_EQ(classify_column("host_Mpps"), ColumnClass::kHostWall);
+    EXPECT_EQ(classify_column("eq_frames"), ColumnClass::kExact);
+    EXPECT_EQ(classify_column("eq_p99_us"), ColumnClass::kExact);
+    EXPECT_EQ(classify_column("eq_llc_misses"), ColumnClass::kExact);
+    EXPECT_EQ(classify_column("eq_drops"), ColumnClass::kExact);
+}
+
+TEST(BenchDiffDirs, HostParallelWallMovesFreelyEqGatesExactly)
+{
+    const char kBase[] =
+        "{\"type\":\"meta\",\"bench\":\"host_parallel\","
+        "\"title\":\"H\",\"columns\":[\"Threads\",\"wall_ms\","
+        "\"speedup\",\"eq_frames\"]}\n"
+        "{\"type\":\"row\",\"Threads\":1,\"wall_ms\":900.0,"
+        "\"speedup\":1.0,\"eq_frames\":12345}\n"
+        "{\"type\":\"row\",\"Threads\":4,\"wall_ms\":260.0,"
+        "\"speedup\":3.46,\"eq_frames\":12345}\n";
+
+    // Wall-clock 3x slower, speedup collapsed: still ok, those are
+    // host-side measurements on an arbitrary runner.
+    ScratchDir base("base"), cur("cur");
+    base.write("host_parallel.json", kBase);
+    cur.write("host_parallel.json",
+              "{\"type\":\"meta\",\"bench\":\"host_parallel\","
+              "\"title\":\"H\",\"columns\":[\"Threads\",\"wall_ms\","
+              "\"speedup\",\"eq_frames\"]}\n"
+              "{\"type\":\"row\",\"Threads\":1,\"wall_ms\":2700.0,"
+              "\"speedup\":1.0,\"eq_frames\":12345}\n"
+              "{\"type\":\"row\",\"Threads\":4,\"wall_ms\":2650.0,"
+              "\"speedup\":1.02,\"eq_frames\":12345}\n");
+    EXPECT_TRUE(diff_bench_dirs(base.path(), cur.path(), 5.0).ok());
+
+    // One frame of drift in an eq_ column fails the gate outright.
+    cur.write("host_parallel.json",
+              "{\"type\":\"meta\",\"bench\":\"host_parallel\","
+              "\"title\":\"H\",\"columns\":[\"Threads\",\"wall_ms\","
+              "\"speedup\",\"eq_frames\"]}\n"
+              "{\"type\":\"row\",\"Threads\":1,\"wall_ms\":900.0,"
+              "\"speedup\":1.0,\"eq_frames\":12345}\n"
+              "{\"type\":\"row\",\"Threads\":4,\"wall_ms\":260.0,"
+              "\"speedup\":3.46,\"eq_frames\":12346}\n");
+    const BenchDiffResult res =
+        diff_bench_dirs(base.path(), cur.path(), 5.0);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.num_regressions, 1u);
+}
+
 TEST(BenchDiffLoad, TableRoundTrip)
 {
     ScratchDir dir("load");

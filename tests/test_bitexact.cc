@@ -40,7 +40,8 @@ struct Expected {
 };
 
 RunResult
-run_fixed(const PipelineOpts &opts, std::uint32_t cores)
+run_fixed(const PipelineOpts &opts, std::uint32_t cores,
+          std::uint32_t host_threads = 0)
 {
     Trace t = make_fixed_size_trace(512, 2048, 512);
     MachineConfig m;
@@ -51,6 +52,7 @@ run_fixed(const PipelineOpts &opts, std::uint32_t cores)
     rc.warmup_us = 500;
     rc.duration_us = 2000;
     rc.sample_interval_us = 0;
+    rc.host_threads = host_threads;
     return e.run(rc);
 }
 
@@ -94,6 +96,23 @@ TEST(BitExact, VanillaRouterRss4Cores)
                      0.31015608045789933, 0.96324477084847426,
                      0.38563775410646584, 70.008032,
                      1.3672230385050892});
+}
+
+// The epoch scheduler (host_threads >= 1 on multicore) is its OWN
+// deterministic schedule — cross-core interaction resolves at epoch
+// edges, so the constants legitimately differ from the serial-loop
+// run above — and it must reproduce these values for every thread
+// count (test_parallel.cc pins 1 == N; this pins the values
+// themselves so a schedule change cannot hide behind thread
+// invariance).
+TEST(BitExact, EpochSchedulerRouterRss4Cores)
+{
+    const Expected e = {30838, 32652, 32651, 947168, 684726, 33094,
+                        6.5101174747242645, 270.53794352213538,
+                        60.612556235515356, 66.116671999999994,
+                        1.356855347096833};
+    expect_bitexact(run_fixed(PipelineOpts::vanilla(), 4, 1), e);
+    expect_bitexact(run_fixed(PipelineOpts::vanilla(), 4, 4), e);
 }
 
 } // namespace

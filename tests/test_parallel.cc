@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Determinism gate for the epoch scheduler (parallel host execution).
+ *
+ * The contract under test: with RunConfig::host_threads >= 1 on a
+ * multicore engine, the simulated results are bit-identical for EVERY
+ * host thread count — 1 worker and N workers produce the same frames,
+ * the same cache/TLB counters, the same latency percentiles, the same
+ * timeline rows, and the same cycle-accounting ledgers. As in
+ * test_bitexact.cc the floating-point comparisons use EXPECT_EQ
+ * deliberately: the schedule is deterministic IEEE arithmetic in a
+ * fixed order, so any deviation is a semantic race, not noise.
+ *
+ * Epoch-boundary edge cases ride along: arrivals landing exactly on
+ * an epoch edge, edges that collide (warm-up/sampler boundaries on
+ * the epoch grid dedupe rather than creating zero-length epochs), one
+ * epoch covering the whole run, and a zero-length warm-up.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/pmill.hh"
+
+namespace pmill {
+namespace {
+
+/** Everything a run produces that the gate compares bit-for-bit. */
+struct Snap {
+    RunResult r;
+    Timeline tl;
+    long long acct_sum = 0;
+    long long acct_resid = 0;
+    long long acct_total = 0;
+};
+
+Snap
+snapshot(Engine &engine, const RunConfig &rc)
+{
+    Snap s;
+    s.r = engine.run(rc);
+    s.tl = engine.timeline();
+    for (const Engine::AcctCoreBreakdown &cb : engine.acct_breakdown()) {
+        s.acct_sum += static_cast<long long>(cb.delta.sum_minus_total());
+        s.acct_resid += static_cast<long long>(cb.residual);
+        s.acct_total += static_cast<long long>(cb.delta.total);
+    }
+    return s;
+}
+
+void
+expect_bitexact(const Snap &a, const Snap &b)
+{
+    EXPECT_EQ(a.r.tx_pkts, b.r.tx_pkts);
+    EXPECT_EQ(a.r.rx_drops, b.r.rx_drops);
+    EXPECT_EQ(a.r.throughput_gbps, b.r.throughput_gbps);
+    EXPECT_EQ(a.r.goodput_gbps, b.r.goodput_gbps);
+    EXPECT_EQ(a.r.mpps, b.r.mpps);
+    EXPECT_EQ(a.r.mean_latency_us, b.r.mean_latency_us);
+    EXPECT_EQ(a.r.median_latency_us, b.r.median_latency_us);
+    EXPECT_EQ(a.r.p99_latency_us, b.r.p99_latency_us);
+    EXPECT_EQ(a.r.mem.loads, b.r.mem.loads);
+    EXPECT_EQ(a.r.mem.stores, b.r.mem.stores);
+    EXPECT_EQ(a.r.mem.llc_loads(), b.r.mem.llc_loads());
+    EXPECT_EQ(a.r.mem.llc_load_misses, b.r.mem.llc_load_misses);
+    EXPECT_EQ(a.r.mem.llc_store_misses, b.r.mem.llc_store_misses);
+    EXPECT_EQ(a.r.mem.tlb_misses, b.r.mem.tlb_misses);
+    EXPECT_EQ(a.r.mem.dev_reads, b.r.mem.dev_reads);
+    EXPECT_EQ(a.r.mem.dev_writes, b.r.mem.dev_writes);
+    EXPECT_EQ(a.r.exec.compute_cycles, b.r.exec.compute_cycles);
+    EXPECT_EQ(a.r.exec.access_cycles, b.r.exec.access_cycles);
+    EXPECT_EQ(a.r.exec.wall_ns, b.r.exec.wall_ns);
+    EXPECT_EQ(a.r.exec.instructions, b.r.exec.instructions);
+    EXPECT_EQ(a.r.exec.accesses, b.r.exec.accesses);
+    EXPECT_EQ(a.r.ipc, b.r.ipc);
+
+    EXPECT_EQ(a.acct_sum, b.acct_sum);
+    EXPECT_EQ(a.acct_resid, b.acct_resid);
+    EXPECT_EQ(a.acct_total, b.acct_total);
+
+    ASSERT_EQ(a.tl.columns, b.tl.columns);
+    ASSERT_EQ(a.tl.rows.size(), b.tl.rows.size());
+    for (std::size_t i = 0; i < a.tl.rows.size(); ++i) {
+        EXPECT_EQ(a.tl.rows[i].t_us, b.tl.rows[i].t_us);
+        EXPECT_EQ(a.tl.rows[i].dt_us, b.tl.rows[i].dt_us);
+        EXPECT_EQ(a.tl.rows[i].partial, b.tl.rows[i].partial);
+        ASSERT_EQ(a.tl.rows[i].values.size(), b.tl.rows[i].values.size());
+        for (std::size_t j = 0; j < a.tl.rows[i].values.size(); ++j)
+            EXPECT_EQ(a.tl.rows[i].values[j], b.tl.rows[i].values[j])
+                << "timeline row " << i << " col " << a.tl.columns[j];
+    }
+}
+
+RunConfig
+base_rc(std::uint32_t threads, double epoch_us)
+{
+    RunConfig rc;
+    rc.warmup_us = 300.0;
+    rc.duration_us = 900.0;
+    rc.sample_interval_us = 100.0;
+    rc.host_threads = threads;
+    rc.epoch_us = epoch_us;
+    return rc;
+}
+
+Snap
+run_router_campus(std::uint32_t threads, const RunConfig &rc_in)
+{
+    MachineConfig m;
+    m.num_cores = 4;
+    Engine engine(m, router_config(), opts_packetmill(),
+                  default_campus_trace());
+    RunConfig rc = rc_in;
+    rc.offered_gbps = 70.0;
+    rc.host_threads = threads;
+    return snapshot(engine, rc);
+}
+
+Snap
+run_nat_zipf(std::uint32_t threads, const RunConfig &rc_in)
+{
+    WorkloadSpec spec;
+    std::string err;
+    EXPECT_TRUE(spec.parse("zipf:flows=65536,skew=1.1,burst=8", &err))
+        << err;
+    MachineConfig m;
+    m.num_cores = 4;
+    Engine engine(m, nat_aging_config(32, 16384, 1.0), opts_packetmill(),
+                  spec);
+    PacketMill::grind(engine);
+    RunConfig rc = rc_in;
+    rc.offered_gbps = 12.0;
+    rc.host_threads = threads;
+    return snapshot(engine, rc);
+}
+
+TEST(Parallel, RouterCampusThreadInvariant)
+{
+    const RunConfig rc = base_rc(1, 1.0);
+    const Snap t1 = run_router_campus(1, rc);
+    const Snap t2 = run_router_campus(2, rc);
+    const Snap t4 = run_router_campus(4, rc);
+    EXPECT_GT(t1.r.tx_pkts, 0u);
+    expect_bitexact(t1, t2);
+    expect_bitexact(t1, t4);
+}
+
+TEST(Parallel, NatZipfThreadInvariant)
+{
+    const RunConfig rc = base_rc(1, 1.0);
+    const Snap t1 = run_nat_zipf(1, rc);
+    const Snap t3 = run_nat_zipf(3, rc);
+    const Snap t4 = run_nat_zipf(4, rc);
+    EXPECT_GT(t1.r.tx_pkts, 0u);
+    expect_bitexact(t1, t3);
+    expect_bitexact(t1, t4);
+}
+
+// Fixed 60-B frames at 84 Gbps: the generator gap is exactly
+// (60+24)*8/84 = 8 ns, and with epoch_us = 0.008 every arrival lands
+// exactly on an epoch edge. The `start < T1` convention must put each
+// edge arrival in the NEXT epoch identically for every thread count.
+TEST(EpochEdge, ArrivalsExactlyOnEdges)
+{
+    auto run_one = [](std::uint32_t threads) {
+        MachineConfig m;
+        m.num_cores = 4;
+        Engine engine(m, router_config(), opts_packetmill(),
+                      make_fixed_size_trace(60, 2048, 512));
+        RunConfig rc;
+        rc.offered_gbps = 84.0;
+        rc.warmup_us = 100.0;
+        rc.duration_us = 300.0;
+        rc.sample_interval_us = 100.0;
+        rc.host_threads = threads;
+        rc.epoch_us = 0.008;
+        return snapshot(engine, rc);
+    };
+    const Snap t1 = run_one(1);
+    const Snap t4 = run_one(4);
+    EXPECT_GT(t1.r.tx_pkts, 0u);
+    expect_bitexact(t1, t4);
+}
+
+// One epoch covering the whole run: the only edges are the warm-up
+// flip, the sampler boundaries, and the end. Cores run the entire
+// window in one parallel segment each.
+TEST(EpochEdge, SingleEpochCoversRun)
+{
+    RunConfig rc = base_rc(1, 1e6);
+    const Snap t1 = run_router_campus(1, rc);
+    const Snap t4 = run_router_campus(4, rc);
+    EXPECT_GT(t1.r.tx_pkts, 0u);
+    expect_bitexact(t1, t4);
+}
+
+// Warm-up end exactly on the epoch grid (300 us on a 1-us grid) is
+// the default above; here the misaligned case — warm-up and duration
+// that land between epoch multiples — must dedupe/insert edges
+// identically for every thread count.
+TEST(EpochEdge, MisalignedWarmupAndDuration)
+{
+    RunConfig rc = base_rc(1, 1.0);
+    rc.warmup_us = 333.25;
+    rc.duration_us = 777.5;
+    const Snap t1 = run_router_campus(1, rc);
+    const Snap t4 = run_router_campus(4, rc);
+    EXPECT_GT(t1.r.tx_pkts, 0u);
+    expect_bitexact(t1, t4);
+}
+
+// Zero warm-up: the measured window opens at t = 0, before the first
+// epoch runs.
+TEST(EpochEdge, ZeroWarmup)
+{
+    RunConfig rc = base_rc(1, 1.0);
+    rc.warmup_us = 0.0;
+    const Snap t1 = run_router_campus(1, rc);
+    const Snap t4 = run_router_campus(4, rc);
+    EXPECT_GT(t1.r.tx_pkts, 0u);
+    expect_bitexact(t1, t4);
+}
+
+// Tracing forces one worker (with a warning); results still must not
+// depend on the requested thread count.
+TEST(EpochEdge, TracingSerializesButStaysDeterministic)
+{
+    auto run_one = [](std::uint32_t threads) {
+        MachineConfig m;
+        m.num_cores = 4;
+        Engine engine(m, router_config(), opts_packetmill(),
+                      default_campus_trace());
+        engine.enable_tracing();
+        RunConfig rc;
+        rc.offered_gbps = 70.0;
+        rc.warmup_us = 200.0;
+        rc.duration_us = 400.0;
+        rc.host_threads = threads;
+        rc.epoch_us = 1.0;
+        return snapshot(engine, rc);
+    };
+    const Snap t1 = run_one(1);
+    const Snap t4 = run_one(4);
+    EXPECT_GT(t1.r.tx_pkts, 0u);
+    expect_bitexact(t1, t4);
+}
+
+// A single-core engine always runs the serial loop: host_threads = 1
+// must reproduce the host_threads = 0 legacy results exactly.
+TEST(Parallel, SingleCoreFallsBackToSerialLoop)
+{
+    auto run_one = [](std::uint32_t threads) {
+        MachineConfig m;
+        Engine engine(m, router_config(), opts_packetmill(),
+                      default_campus_trace());
+        RunConfig rc;
+        rc.offered_gbps = 70.0;
+        rc.warmup_us = 200.0;
+        rc.duration_us = 400.0;
+        rc.host_threads = threads;
+        return snapshot(engine, rc);
+    };
+    const Snap serial = run_one(0);
+    const Snap one = run_one(1);
+    EXPECT_GT(serial.r.tx_pkts, 0u);
+    expect_bitexact(serial, one);
+}
+
+TEST(ParallelValidation, MoreThreadsThanCoresDies)
+{
+    MachineConfig m;
+    m.num_cores = 2;
+    Engine engine(m, router_config(), opts_packetmill(),
+                  default_campus_trace());
+    RunConfig rc;
+    rc.warmup_us = 10.0;
+    rc.duration_us = 10.0;
+    rc.host_threads = 3;
+    EXPECT_DEATH(engine.run(rc), "host_threads");
+}
+
+} // namespace
+} // namespace pmill
