@@ -1,0 +1,16 @@
+// IP router with a software flow-steering stage ahead of the
+// classifier. On a multicore engine FlowSteer consults the shared
+// steering table (the software analogue of the NIC RSS indirection
+// table) and hands flows homed on another core through the per-core
+// handoff rings; on a single core it is transparent.
+input  :: FromDPDKDevice(PORT 0, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+class  :: Classifier(ARP, IP);
+rt     :: IPLookup(20.0.0.0/8 0, 21.0.0.0/8 0, 22.0.0.0/8 0,
+                   23.0.0.0/8 0, 10.0.0.0/8 0, 0.0.0.0/0 0);
+input -> FlowSteer -> class;
+class [0] -> ARPResponder(10.0.0.1, 02:00:00:00:00:10) -> output;
+class [1] -> CheckIPHeader -> rt;
+rt -> DecIPTTL
+   -> EtherRewrite(SRC 02:00:00:00:00:10, DST 02:00:00:00:00:20)
+   -> output;

@@ -21,7 +21,23 @@
  *                       bit-identical for every N. Rejected when N
  *                       exceeds --cores; tracing forces N = 1 (with a
  *                       warning) because the trace ring is shared.
- *   --nics N            NICs polled by core 0 (default 1)
+ *   --nics N            NICs (default 1). Every NIC fans out over one
+ *                       RX queue per core, so --cores 4 --nics 2 has
+ *                       each core polling its queue on both devices.
+ *   --sockets N         NUMA sockets (default 1). Cores split across
+ *                       sockets in contiguous blocks; each core's
+ *                       pipeline state and mempools are homed on its
+ *                       own socket and remote DRAM fills pay the
+ *                       remote-access penalty.
+ *   --rss-table N       per-NIC RSS indirection table with N buckets
+ *                       (power of two, like the mlx5 RETA); 0 (the
+ *                       default) keeps the legacy `hash % queues`
+ *                       spread. The table is reprogrammable at run
+ *                       time through the control loop.
+ *   --queue-weight W    initial round-robin weight applied to every
+ *                       polled queue (default 1). Validated here to
+ *                       the engine's [1, 64] actuation range, so a
+ *                       bad config is a clean error, not an abort.
  *   --size BYTES        fixed-size traffic instead of the campus trace
  *   --workload SPEC     synthesize traffic instead of replaying a
  *                       trace: an inline spec like
@@ -54,13 +70,17 @@
  *   --profile-in PATH   guided run: load a Profile, apply its
  *                       searched plan (rule orders, burst, model,
  *                       state placement) before/while grinding
- *   --control POLICY    closed-loop control: hysteresis|aimd. The
- *                       controller watches the sampled telemetry and
- *                       retunes RX burst / poll backoff / queue
+ *   --control POLICY    closed-loop control: hysteresis|aimd|steer.
+ *                       The controller watches the sampled telemetry
+ *                       and retunes RX burst / poll backoff / queue
  *                       weights mid-run, within validated limits
  *                       (derived from the plan when --profile-in is
- *                       given). Decisions are appended to the stats
- *                       JSONL as {"type":"decision",...} lines.
+ *                       given). The steer policy instead migrates hot
+ *                       indirection-table buckets (NIC RETA with
+ *                       --rss-table, else the FlowSteer fabric) from
+ *                       the hottest core to the coldest. Decisions are
+ *                       appended to the stats JSONL as
+ *                       {"type":"decision",...} lines.
  *   --decision-log PATH write the decision log as JSON Lines
  *                       (requires --control)
  *   --load-step-us US   switch the offered load this long after
@@ -100,14 +120,16 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <config.click> [--opt LEVEL] [--model M] "
                  "[--freq GHZ] [--offered GBPS] [--cores N] "
-                 "[--host-threads N] [--nics N] "
+                 "[--host-threads N] [--nics N] [--sockets N] "
+                 "[--rss-table N] [--queue-weight W] "
                  "[--size BYTES] [--workload SPEC] [--duration US] "
                  "[--verify] [--report] [--explain] "
                  "[--json] [--stats-json PATH] [--stats-csv PATH] "
                  "[--sample-interval-us N] [--trace-out PATH] "
                  "[--trace-jsonl PATH] [--trace-sample-rate R] "
                  "[--profile-out PATH] [--profile-in PATH] "
-                 "[--control hysteresis|aimd] [--decision-log PATH] "
+                 "[--control hysteresis|aimd|steer] "
+                 "[--decision-log PATH] "
                  "[--load-step-us US] [--load-step-gbps GBPS]\n",
                  argv0);
     std::exit(2);
@@ -203,6 +225,7 @@ main(int argc, char **argv)
     double sample_us = 100.0;
     std::uint32_t cores = 1, nics = 1, fixed_size = 0;
     std::uint32_t host_threads = 1;
+    std::uint32_t sockets = 1, rss_table = 0, queue_weight = 1;
     bool do_verify = false, do_report = false, do_json = false;
     bool do_explain = false;
     std::string stats_json_path, stats_csv_path;
@@ -262,6 +285,26 @@ main(int argc, char **argv)
         } else if (a == "--nics") {
             nics = parse_u32_arg("--nics", next(), 1, 8,
                                  "a NIC count in [1, 8]");
+        } else if (a == "--sockets") {
+            sockets = parse_u32_arg("--sockets", next(), 1, 8,
+                                    "a socket count in [1, 8]");
+        } else if (a == "--rss-table") {
+            const char *v = next();
+            rss_table = parse_u32_arg(
+                "--rss-table", v, 0, 65536,
+                "a power-of-two bucket count in [2, 65536] "
+                "(0 = legacy modulo)");
+            if (rss_table != 0 && (rss_table & (rss_table - 1)) != 0)
+                flag_error("--rss-table",
+                           "a power-of-two bucket count in [2, 65536] "
+                           "(0 = legacy modulo)",
+                           v);
+        } else if (a == "--queue-weight") {
+            // The engine's actuation surface hard-asserts [1, 64]
+            // (internal callers are pre-clamped); the config boundary
+            // validates instead, so a bad flag is a clean exit 2.
+            queue_weight = parse_u32_arg("--queue-weight", next(), 1, 64,
+                                         "a weight in [1, 64]");
         } else if (a == "--size") {
             fixed_size = parse_u32_arg("--size", next(), 60, 1514,
                                        "a frame size in [60, 1514] bytes");
@@ -305,7 +348,7 @@ main(int argc, char **argv)
             // source of truth for the known policies).
             if (!make_policy(control_policy, ActuationLimits{},
                              PolicyConfig{}))
-                flag_error("--control", "hysteresis|aimd",
+                flag_error("--control", "hysteresis|aimd|steer",
                            control_policy.c_str());
         } else if (a == "--decision-log") {
             decision_log_path = next();
@@ -328,12 +371,11 @@ main(int argc, char **argv)
 
     // Cross-flag validation: reject inconsistent combinations with a
     // clean diagnostic instead of tripping an engine assertion.
-    if (cores > 1 && nics > 1) {
+    if (sockets > cores) {
         std::fprintf(stderr,
-                     "pmill_run: --cores %u with --nics %u is not a "
-                     "supported topology (multicore runs use a single "
-                     "NIC with RSS; multi-NIC runs use a single core)\n",
-                     cores, nics);
+                     "pmill_run: --sockets %u exceeds --cores %u (a "
+                     "socket with no core would never be accessed)\n",
+                     sockets, cores);
         return 2;
     }
     if (host_threads > cores) {
@@ -397,6 +439,8 @@ main(int argc, char **argv)
     machine.freq_ghz = freq;
     machine.num_cores = cores;
     machine.num_nics = nics;
+    machine.num_sockets = sockets;
+    machine.nic.rss_table_size = rss_table;
 
     // Profile-guided grind: load the capture artifact and fold the
     // plan's build-time decisions (burst, model, state placement) into
@@ -426,6 +470,12 @@ main(int argc, char **argv)
             ? std::make_unique<Engine>(machine, config, opts, wspec)
             : std::make_unique<Engine>(machine, config, opts, trace);
     Engine &engine = *engine_ptr;
+
+    if (queue_weight != 1)
+        for (std::uint32_t c = 0; c < engine.num_cores(); ++c)
+            for (std::uint32_t q = 0; q < engine.num_polled_queues(c);
+                 ++q)
+                engine.set_queue_weight(c, q, queue_weight);
 
     std::unique_ptr<Controller> controller;
     if (!control_policy.empty()) {

@@ -71,6 +71,39 @@ class Actuator {
                                        std::uint32_t q) const = 0;
     virtual void set_queue_weight(std::uint32_t core, std::uint32_t q,
                                   std::uint32_t weight) = 0;
+
+    /**
+     * @name RSS/steering indirection table (optional capability).
+     * A flow-placement surface: buckets of the hash-indexed
+     * indirection table can be rehomed onto other cores at run time,
+     * and per-bucket load counters tell the controller where the hot
+     * buckets sit. Targets without the capability keep the defaults —
+     * rss_table_size() == 0 means "no table, don't call the rest";
+     * existing Actuator mocks need no changes.
+     * @{
+     */
+    virtual std::uint32_t rss_table_size() const { return 0; }
+    virtual std::uint32_t
+    rss_table_entry(std::uint32_t idx) const
+    {
+        (void)idx;
+        return 0;
+    }
+    virtual void
+    set_rss_table_entry(std::uint32_t idx, std::uint32_t queue)
+    {
+        (void)idx;
+        (void)queue;
+    }
+    /** Bucket selections since the last reset_rss_entry_loads(). */
+    virtual std::uint64_t
+    rss_entry_load(std::uint32_t idx) const
+    {
+        (void)idx;
+        return 0;
+    }
+    virtual void reset_rss_entry_loads() {}
+    /// @}
 };
 
 } // namespace pmill

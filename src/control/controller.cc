@@ -160,6 +160,77 @@ Controller::apply(double t_us, const ControlAction &want, Actuator &act)
             }
         }
     }
+
+    if (want.rebalance_moves > 0)
+        rebalance_rss(t_us, want.rebalance_moves, act, want.reason);
+}
+
+void
+Controller::rebalance_rss(double t_us, std::uint32_t max_moves,
+                          Actuator &act, const std::string &reason)
+{
+    const std::uint32_t tsize = act.rss_table_size();
+    const std::uint32_t ncores = act.num_cores();
+    if (tsize == 0 || ncores < 2)
+        return;
+
+    // Snapshot the table program and the per-bucket loads measured
+    // since the last rebalance, then fold them into per-core totals.
+    std::vector<std::uint64_t> load(tsize);
+    std::vector<std::uint32_t> home(tsize);
+    std::vector<std::uint64_t> core_load(ncores, 0);
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < tsize; ++i) {
+        load[i] = act.rss_entry_load(i);
+        home[i] = act.rss_table_entry(i);
+        core_load[home[i]] += load[i];
+        total += load[i];
+    }
+
+    if (total > 0) {
+        // "Balanced" = hot/cold gap under rebalance_spread of the
+        // per-core mean; below that, placement noise would dominate.
+        const double gap_floor = cfg_.policy.rebalance_spread *
+                                 static_cast<double>(total) / ncores;
+        for (std::uint32_t m = 0; m < max_moves; ++m) {
+            std::uint32_t hot = 0, cold = 0;
+            for (std::uint32_t c = 1; c < ncores; ++c) {
+                if (core_load[c] > core_load[hot])
+                    hot = c;
+                if (core_load[c] < core_load[cold])
+                    cold = c;
+            }
+            const std::uint64_t gap = core_load[hot] - core_load[cold];
+            if (static_cast<double>(gap) <= gap_floor)
+                break;
+            // Hottest bucket on the hot core whose load still fits in
+            // the gap (strict improvement; never turns the cold core
+            // into a worse hot spot than the one being drained).
+            std::int64_t best = -1;
+            for (std::uint32_t i = 0; i < tsize; ++i) {
+                if (home[i] != hot || load[i] == 0 || load[i] >= gap)
+                    continue;
+                if (best < 0 ||
+                    load[i] > load[static_cast<std::size_t>(best)])
+                    best = i;
+            }
+            if (best < 0)
+                break;
+            const std::uint32_t b = static_cast<std::uint32_t>(best);
+            if (!cfg_.dry_run)
+                act.set_rss_table_entry(b, cold);
+            log_change(t_us, "rss_table_entry", cold,
+                       static_cast<std::int32_t>(b), hot, cold, false,
+                       reason);
+            core_load[hot] -= load[b];
+            core_load[cold] += load[b];
+            home[b] = cold;
+        }
+    }
+
+    // Fresh counters for the next interval's placement decision.
+    if (!cfg_.dry_run)
+        act.reset_rss_entry_loads();
 }
 
 void

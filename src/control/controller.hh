@@ -89,6 +89,17 @@ class Controller {
   private:
     ControlObservation distill(const Timeline &tl, std::size_t row) const;
     void apply(double t_us, const ControlAction &want, Actuator &act);
+    /**
+     * Greedy indirection-table rebalance: move up to @p max_moves hot
+     * buckets from the most-loaded core to the least-loaded one, then
+     * reset the per-bucket load counters so the next interval measures
+     * fresh. No-op (apart from the reset) when the actuator exposes no
+     * table or the per-core loads are within the configured spread.
+     * One "rss_table_entry" decision is logged per moved bucket
+     * (queue = bucket index, from/to = old/new home core).
+     */
+    void rebalance_rss(double t_us, std::uint32_t max_moves, Actuator &act,
+                       const std::string &reason);
     void log_change(double t_us, const char *knob, std::uint32_t core,
                     std::int32_t queue, double from, double to, bool clamped,
                     const std::string &reason);

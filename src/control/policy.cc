@@ -175,6 +175,29 @@ AimdPolicy::decide(const ControlObservation &obs, std::uint32_t cur_burst,
     return a;
 }
 
+ControlAction
+SteerPolicy::decide(const ControlObservation &obs, std::uint32_t cur_burst,
+                    double cur_backoff_ns)
+{
+    (void)cur_burst;
+    (void)cur_backoff_ns;
+    // Placement intent every interval; the controller's mechanics
+    // hold still while the measured per-bucket loads are balanced, so
+    // this converges instead of flapping. RR weights ride along like
+    // the other policies' (they help when one queue runs deep even
+    // after placement).
+    ControlAction a;
+    a.rebalance_moves = cfg_.rebalance_moves;
+    a.weights = proportional_weights(obs.queue_occupancy,
+                                     limits_.weight_max,
+                                     cfg_.weight_imbalance);
+    a.reason = strprintf(
+        "steer rebalance (p99 %.1f us, ring %.2f): up to %u bucket "
+        "moves hottest -> coldest",
+        obs.p99_us, obs.ring_occupancy, cfg_.rebalance_moves);
+    return a;
+}
+
 std::unique_ptr<Policy>
 make_policy(const std::string &name, const ActuationLimits &limits,
             const PolicyConfig &cfg)
@@ -183,6 +206,8 @@ make_policy(const std::string &name, const ActuationLimits &limits,
         return std::make_unique<HysteresisPolicy>(limits, cfg);
     if (name == "aimd")
         return std::make_unique<AimdPolicy>(limits, cfg);
+    if (name == "steer")
+        return std::make_unique<SteerPolicy>(limits, cfg);
     return nullptr;
 }
 

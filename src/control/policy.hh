@@ -66,12 +66,18 @@ struct ControlAction {
     double backoff_ns = -1;   ///< desired poll backoff; < 0 = no change
     /// Desired per-queue RR weights; empty = no change.
     std::vector<std::uint32_t> weights;
+    /// Ask the controller to rebalance up to this many indirection-
+    /// table buckets from the hottest core to the coldest (0 = none).
+    /// The controller owns the mechanics: the policy only signals the
+    /// intent, since per-bucket loads live behind the Actuator.
+    std::uint32_t rebalance_moves = 0;
     std::string reason;  ///< one-line rationale for the decision log
 
     bool
     changes_nothing() const
     {
-        return burst == 0 && backoff_ns < 0 && weights.empty();
+        return burst == 0 && backoff_ns < 0 && weights.empty() &&
+               rebalance_moves == 0;
     }
 };
 
@@ -91,6 +97,14 @@ struct PolicyConfig {
     double backoff_decrease = 0.5;     ///< AIMD multiplicative factor
     /// Minimum per-queue occupancy spread before weights move off 1.
     double weight_imbalance = 0.10;
+    /// @name Steer policy (indirection-table rebalance).
+    /// @{
+    /// Max buckets moved per interval.
+    std::uint32_t rebalance_moves = 8;
+    /// Hot/cold core load gap (as a fraction of the per-core mean
+    /// load) below which the table is considered balanced.
+    double rebalance_spread = 0.25;
+    /// @}
 };
 
 /** Decision rule over per-interval observations. */
@@ -151,6 +165,32 @@ class AimdPolicy : public Policy {
 };
 
 /**
+ * Flow-placement rule: every interval, ask the controller to migrate
+ * up to PolicyConfig::rebalance_moves hot indirection-table buckets
+ * from the most-loaded core to the least-loaded one (the software
+ * analogue of reprogramming the NIC RETA against a skewed hash). The
+ * controller's mechanics no-op while the measured per-core bucket
+ * loads are within rebalance_spread of each other, so on balanced
+ * traffic the policy leaves the table alone.
+ */
+class SteerPolicy : public Policy {
+  public:
+    SteerPolicy(const ActuationLimits &limits, const PolicyConfig &cfg)
+        : limits_(limits), cfg_(cfg)
+    {}
+
+    const char *name() const override { return "steer"; }
+    void reset() override {}
+    ControlAction decide(const ControlObservation &obs,
+                         std::uint32_t cur_burst,
+                         double cur_backoff_ns) override;
+
+  private:
+    ActuationLimits limits_;
+    PolicyConfig cfg_;
+};
+
+/**
  * Round-robin weights proportional to per-queue occupancy, in
  * [1, weight_max]; all 1 when the spread is below @p imbalance or
  * fewer than two queues are observed.
@@ -160,7 +200,7 @@ proportional_weights(const std::vector<double> &queue_occupancy,
                      std::uint32_t weight_max, double imbalance);
 
 /**
- * Factory for the shipped policies ("hysteresis" | "aimd");
+ * Factory for the shipped policies ("hysteresis" | "aimd" | "steer");
  * nullptr for an unknown name.
  */
 std::unique_ptr<Policy> make_policy(const std::string &name,

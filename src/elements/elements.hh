@@ -29,6 +29,8 @@
 
 namespace pmill {
 
+class SteerFabric;
+
 /** RX endpoint marker. Args: PORT n, N_QUEUES n, BURST n. */
 class FromDPDKDevice : public Element {
   public:
@@ -360,6 +362,56 @@ class WorkPackage : public Element {
     MemHandle scratch_;
     Xorshift64 rng_{0xACCE55ull};
     std::uint64_t checksum_ = 0;
+};
+
+/**
+ * Software flow steering (PFQ-style): consult the fabric's shared
+ * flow table on each packet's RSS hash; packets whose home core is
+ * this core pass through, the rest are copied into the home core's
+ * handoff ring and released locally. The engine binds each core's
+ * instance to the shared SteerFabric after the pipeline is built and
+ * re-injects staged frames on the destination core at deterministic
+ * serial points.
+ *
+ * Unbound (e.g. in a verification build without an engine) the
+ * element is a transparent no-op.
+ */
+class FlowSteer : public Element {
+  public:
+    const char *class_name() const override { return "FlowSteer"; }
+    bool
+    configure(const std::vector<std::string> &, std::string *) override
+    {
+        return true;
+    }
+    void process(PacketBatch &, ExecContext &) override;
+    std::uint32_t state_bytes() const override { return 64; }
+    void access_profile(std::vector<Field> &reads,
+                        std::vector<Field> &writes) const override;
+
+    /** Attach the shared fabric and this pipeline's core index. */
+    void
+    bind(SteerFabric *fabric, std::uint32_t core)
+    {
+        fabric_ = fabric;
+        core_ = core;
+    }
+
+    bool bound() const { return fabric_ != nullptr; }
+
+    /**
+     * Packets handed off (or dropped at a full handoff ring) by the
+     * last process() calls. Their frames are already copied/released
+     * fabric-side; the engine returns the handles through the owning
+     * datapath's drop path so mbufs go back to the source core's
+     * pools. Cleared by the caller.
+     */
+    std::vector<PacketHandle> &release_list() { return release_; }
+
+  private:
+    SteerFabric *fabric_ = nullptr;
+    std::uint32_t core_ = 0;
+    std::vector<PacketHandle> release_;
 };
 
 /** Count packets and bytes. */

@@ -43,6 +43,8 @@ register_standard_elements()
     reg("IPRewriter", [] { return std::unique_ptr<Element>(new Napt); });
     reg("WorkPackage",
         [] { return std::unique_ptr<Element>(new WorkPackage); });
+    reg("FlowSteer",
+        [] { return std::unique_ptr<Element>(new FlowSteer); });
     reg("Counter", [] { return std::unique_ptr<Element>(new Counter); });
     reg("Discard", [] { return std::unique_ptr<Element>(new Discard); });
     reg("Queue", [] { return std::unique_ptr<Element>(new Queue); });

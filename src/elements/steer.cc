@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FlowSteer: software flow steering between cores through the shared
+ * SteerFabric (see src/net/steering.hh for the fabric's concurrency
+ * contract).
+ */
+
+#include "src/elements/elements.hh"
+#include "src/net/steering.hh"
+
+namespace pmill {
+
+void
+FlowSteer::process(PacketBatch &batch, ExecContext &ctx)
+{
+    if (fabric_ == nullptr)
+        return;  // unbound: transparent
+
+    std::uint32_t kept = 0;
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+        PacketHandle &h = batch[i];
+        PacketView v = view(h, ctx);
+        const std::uint32_t hash =
+            static_cast<std::uint32_t>(v.read(Field::kRssHash));
+        const std::uint32_t idx = fabric_->index_of(hash);
+        // Table consultation: one word from the shared flow table
+        // plus the branch deciding home vs. handoff.
+        ctx.load(fabric_->table_addr(idx), 4);
+        ctx.on_compute(3, 8);
+        fabric_->note_entry_load(core_, idx);
+        const std::uint32_t dst = fabric_->entry(idx);
+
+        if (dst == core_) {
+            fabric_->note_pass(core_);
+            if (kept != i)
+                batch[kept] = h;
+            ++kept;
+            continue;
+        }
+
+        // Handoff: copy the frame into the home core's ring slot (the
+        // stores hit this core's hierarchy; with NUMA placement the
+        // ring is homed on the destination's socket, so the DRAM
+        // fills pay the remote penalty) and release the local buffer.
+        // The batch is shrunk in place rather than marking the packet
+        // dropped: mid-pipeline drop compaction does not release
+        // buffers, and steered packets must not count as pipeline
+        // drops.
+        const Addr slot = fabric_->ring_slot_addr(core_, dst);
+        ctx.store(slot, h.len);
+        ctx.on_compute(2, 4);
+        fabric_->stage(core_, dst, h.data, h.len, h.arrival_ns);
+        release_.push_back(h);
+    }
+    batch.count = kept;
+}
+
+void
+FlowSteer::access_profile(std::vector<Field> &reads,
+                          std::vector<Field> &) const
+{
+    reads.push_back(Field::kRssHash);
+}
+
+} // namespace pmill

@@ -132,6 +132,7 @@ class ExecContext final : public AccessSink {
         acct_tlb_cycles_ = cc.tlb_miss_ns * cost_.mem_overlap * freq_ghz_;
         acct_llc_cycles_ = cc.llc_ns * cost_.mem_overlap * freq_ghz_;
         acct_dram_cycles_ = cc.dram_ns * cost_.mem_overlap * freq_ghz_;
+        acct_numa_cycles_ = cc.numa_remote_ns * cost_.mem_overlap * freq_ghz_;
     }
 
     // --- AccessSink ---
@@ -154,6 +155,9 @@ class ExecContext final : public AccessSink {
         if (r.dram_fills != 0)
             acct_.charge(acct_scope_, kAcctDramStall,
                          r.dram_fills * acct_dram_cycles_);
+        if (r.remote_fills != 0)
+            acct_.charge(acct_scope_, kAcctDramStall,
+                         r.remote_fills * acct_numa_cycles_);
         if (r.tlb_misses != 0)
             acct_.charge(acct_scope_, kAcctTlbStall,
                          r.tlb_misses * acct_tlb_cycles_);
@@ -251,6 +255,7 @@ class ExecContext final : public AccessSink {
     double acct_tlb_cycles_ = 0;
     double acct_llc_cycles_ = 0;
     double acct_dram_cycles_ = 0;
+    double acct_numa_cycles_ = 0;
 };
 
 } // namespace pmill

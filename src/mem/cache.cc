@@ -21,6 +21,7 @@ MemStats::operator-(const MemStats &o) const
     d.dev_reads_dram = dev_reads_dram - o.dev_reads_dram;
     d.tlb_misses = tlb_misses - o.tlb_misses;
     d.prefetches = prefetches - o.prefetches;
+    d.numa_remote_fills = numa_remote_fills - o.numa_remote_fills;
     return d;
 }
 
@@ -398,6 +399,7 @@ CacheHierarchy::access_range(std::uint64_t first, std::uint64_t last,
         total.tlb_misses += r.tlb_misses;
         total.llc_trips += r.llc_trips;
         total.dram_fills += r.dram_fills;
+        total.remote_fills += r.remote_fills;
         if (r.level > total.level)
             total.level = r.level;
     }
@@ -442,6 +444,12 @@ CacheHierarchy::cpu_line_miss(std::uint64_t line, bool is_load,
 
     r.wall_ns += cfg_.dram_ns;
     ++r.dram_fills;
+    if (PMILL_UNLIKELY(numa_probe_ != nullptr) &&
+        numa_probe_(numa_ctx_, line * kCacheLineBytes) != socket_) {
+        r.wall_ns += cfg_.numa_remote_ns;
+        ++r.remote_fills;
+        ++stats_.numa_remote_fills;
+    }
     llc_.insert_absent(line);
     l2_.insert_absent(line);
     l1_.insert_absent(line);

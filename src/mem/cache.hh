@@ -78,6 +78,12 @@ struct CacheConfig {
     bool tlb_enable = true;
     std::uint32_t tlb_entries = 64;
     double tlb_miss_ns = 18.0;
+
+    /// Extra latency a DRAM fill pays when the line's home socket
+    /// differs from the accessing core's socket (QPI/UPI hop). Only
+    /// consulted when a NUMA probe is installed on the hierarchy;
+    /// single-socket machines never pay it.
+    double numa_remote_ns = 60.0;
 };
 
 /** Result of one (line-granular) access walk through the hierarchy. */
@@ -88,13 +94,15 @@ struct AccessResult {
 
     /// @name Uncore latency decomposition (cycle accounting).
     /// wall_ns == tlb_misses * tlb_miss_ns + llc_trips * llc_ns +
-    /// dram_fills * dram_ns; counts rather than nanoseconds so the
-    /// accounting layer can reconstruct each component exactly.
+    /// dram_fills * dram_ns + remote_fills * numa_remote_ns; counts
+    /// rather than nanoseconds so the accounting layer can
+    /// reconstruct each component exactly.
     /// @{
     std::uint32_t tlb_misses = 0;  ///< TLB walks charged.
     std::uint32_t llc_trips = 0;   ///< Lines that paid the LLC trip
                                    ///< (every L2 miss, hit or not).
     std::uint32_t dram_fills = 0;  ///< Lines that additionally hit DRAM.
+    std::uint32_t remote_fills = 0;  ///< DRAM fills from a remote socket.
     /// @}
 };
 
@@ -113,6 +121,7 @@ struct MemStats {
     std::uint64_t dev_reads_dram = 0;  ///< TX DMA reads that left LLC
     std::uint64_t tlb_misses = 0;
     std::uint64_t prefetches = 0;
+    std::uint64_t numa_remote_fills = 0;  ///< DRAM fills off-socket
 
     /** LLC loads (the perf "LLC-loads" event). */
     std::uint64_t llc_loads() const { return l2_load_misses; }
@@ -426,6 +435,25 @@ class CacheHierarchy {
         miss_ctx_ = ctx;
     }
 
+    /**
+     * NUMA home-socket probe: invoked on every DRAM fill with the
+     * line's address; returns the home socket of that address.
+     * Statically bound like the LLC-miss hook; null (disabled, the
+     * default) keeps the single-socket model bit-identical.
+     */
+    using NumaProbe = std::uint32_t (*)(void *ctx, Addr line_addr);
+
+    /** Install the NUMA probe and this hierarchy's own socket id. */
+    void
+    set_numa_probe(NumaProbe probe, void *ctx, std::uint32_t socket)
+    {
+        numa_probe_ = probe;
+        numa_ctx_ = ctx;
+        socket_ = socket;
+    }
+
+    std::uint32_t socket() const { return socket_; }
+
   private:
     /**
      * One line-granular walk. The L1-hit path is inline; misses and
@@ -476,6 +504,9 @@ class CacheHierarchy {
     MemStats stats_;
     LlcMissHook miss_hook_ = nullptr;
     void *miss_ctx_ = nullptr;
+    NumaProbe numa_probe_ = nullptr;
+    void *numa_ctx_ = nullptr;
+    std::uint32_t socket_ = 0;
 };
 
 } // namespace pmill

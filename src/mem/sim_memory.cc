@@ -42,6 +42,7 @@ SimMemory::alloc(std::uint64_t size, std::uint64_t align, Region r)
     a.size = size;
     a.host = std::make_unique<std::uint8_t[]>(size);
     a.region = r;
+    a.socket = home_socket_;
     std::memset(a.host.get(), 0, size);
 
     MemHandle h{base, a.host.get(), size};
@@ -83,6 +84,20 @@ SimMemory::region_of(Addr a) const
     if (a >= it->base + it->size)
         return Region::kHeap;
     return it->region;
+}
+
+std::uint32_t
+SimMemory::socket_of(Addr a) const
+{
+    auto it = std::upper_bound(
+        allocs_.begin(), allocs_.end(), a,
+        [](Addr addr, const Alloc &al) { return addr < al.base; });
+    if (it == allocs_.begin())
+        return 0;
+    --it;
+    if (a >= it->base + it->size)
+        return 0;
+    return it->socket;
 }
 
 std::uint8_t *

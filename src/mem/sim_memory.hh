@@ -104,12 +104,30 @@ class SimMemory {
      */
     Region region_of(Addr a) const;
 
+    /**
+     * NUMA home socket for every *subsequent* allocation. The engine
+     * sets this before building each core's pools so per-core memory
+     * is tagged with the owning core's socket.
+     */
+    void set_home_socket(std::uint32_t socket) { home_socket_ = socket; }
+
+    std::uint32_t home_socket() const { return home_socket_; }
+
+    /**
+     * Home socket of simulated address @p a (socket the backing
+     * allocation was tagged with; 0 when unmapped). O(log n) — used
+     * by the cache model's NUMA probe, which fires only on DRAM
+     * fills, not on every access.
+     */
+    std::uint32_t socket_of(Addr a) const;
+
   private:
     struct Alloc {
         Addr base;
         std::uint64_t size;
         std::unique_ptr<std::uint8_t[]> host;
         Region region;
+        std::uint32_t socket;
     };
 
     std::vector<Alloc> allocs_;  // sorted by base
@@ -117,6 +135,7 @@ class SimMemory {
     std::uint64_t total_ = 0;
     Addr next_;
     Xorshift64 scatter_rng_;
+    std::uint32_t home_socket_ = 0;
 };
 
 } // namespace pmill

@@ -1,0 +1,105 @@
+#include "src/net/steering.hh"
+
+#include <algorithm>
+
+namespace pmill {
+
+SteerFabric::SteerFabric(std::uint32_t num_cores, std::uint32_t table_size,
+                         std::uint32_t ring_capacity, SimMemory &mem,
+                         const std::vector<std::uint32_t> *ring_sockets)
+    : num_cores_(num_cores), ring_capacity_(ring_capacity)
+{
+    PMILL_ASSERT(num_cores >= 1, "steer fabric needs at least one core");
+    PMILL_ASSERT(table_size >= 1 && is_pow2(table_size),
+                 "steer table size must be a power of two");
+    PMILL_ASSERT(ring_capacity >= 1, "steer ring capacity must be >= 1");
+    PMILL_ASSERT(!ring_sockets || ring_sockets->size() >= num_cores,
+                 "ring_sockets must cover every core");
+    mask_ = table_size - 1;
+
+    // Round-robin initial spread: bucket i -> core i % N. For
+    // power-of-two core counts this reproduces the NIC's legacy
+    // `hash % cores` mapping exactly (hash & (table_size-1) preserves
+    // hash mod cores when cores divides table_size), so an idle
+    // fabric steers nothing until the controller desynchronizes it.
+    table_.resize(table_size);
+    for (std::uint32_t i = 0; i < table_size; ++i)
+        table_[i] = i % num_cores;
+
+    const std::uint32_t old_home = mem.home_socket();
+    table_mem_ = mem.alloc(std::uint64_t(table_size) * 4, kCacheLineBytes,
+                           Region::kTable);
+    ring_mem_.reserve(num_cores);
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        // Each destination's ring lives on that destination's socket:
+        // a cross-socket handoff is a remote store, like pushing into
+        // a peer socket's rte_ring.
+        if (ring_sockets)
+            mem.set_home_socket((*ring_sockets)[c]);
+        ring_mem_.push_back(
+            mem.alloc(std::uint64_t(ring_capacity) * kSlotBytes,
+                      kCacheLineBytes, Region::kDeviceRing));
+    }
+    mem.set_home_socket(old_home);
+
+    cursors_.assign(std::size_t(num_cores) * num_cores, 0);
+    staging_.resize(std::size_t(num_cores) * num_cores);
+    shards_.resize(num_cores);
+    load_shards_.assign(num_cores,
+                        std::vector<std::uint64_t>(table_size, 0));
+    src_staged_.assign(num_cores, 0);
+}
+
+bool
+SteerFabric::stage(std::uint32_t src, std::uint32_t dst,
+                   const std::uint8_t *frame, std::uint32_t len,
+                   TimeNs arrival_ns)
+{
+    PMILL_ASSERT(src < num_cores_ && dst < num_cores_, "bad steer core");
+    auto &row = staging_[src * num_cores_ + dst];
+    if (row.size() >= ring_capacity_) {
+        ++shards_[src].stage_drops;
+        return false;
+    }
+    StagedFrame f;
+    f.bytes.assign(frame, frame + len);
+    f.len = len;
+    f.arrival_ns = arrival_ns;
+    row.push_back(std::move(f));
+    ++shards_[src].steered;
+    src_staged_[src] = 1;
+    return true;
+}
+
+std::uint64_t
+SteerFabric::entry_load(std::uint32_t idx) const
+{
+    PMILL_ASSERT(idx <= mask_, "bad steer table index");
+    std::uint64_t sum = 0;
+    for (const auto &shard : load_shards_)
+        sum += shard[idx];
+    return sum;
+}
+
+void
+SteerFabric::reset_entry_loads()
+{
+    for (auto &shard : load_shards_)
+        std::fill(shard.begin(), shard.end(), 0);
+}
+
+SteerStats
+SteerFabric::stats() const
+{
+    SteerStats s;
+    for (const SteerStats &sh : shards_) {
+        s.steered += sh.steered;
+        s.passed += sh.passed;
+        s.delivered += sh.delivered;
+        s.stage_drops += sh.stage_drops;
+        s.ring_drops += sh.ring_drops;
+    }
+    return s;
+}
+
+} // namespace pmill

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Software flow-steering fabric: per-core handoff rings plus a shared
+ * reprogrammable flow table, the software analogue of the NIC's RSS
+ * indirection table (PFQ-style packet steering between cores).
+ *
+ * The fabric sits between the FlowSteer element (which consults the
+ * table on each core and stages frames whose home core differs) and
+ * the engine's conductor (which merges the staged frames into the
+ * destination cores' NIC queues at deterministic serial points).
+ *
+ * Concurrency contract (mirrors the epoch scheduler's): during the
+ * parallel phase a core touches only its own row of the staging
+ * matrix, its own stats shard, and its own per-bucket load shard; the
+ * shared table is read-only. All writes to shared state (table
+ * reprogramming, drain) happen at serial points in config-core order,
+ * so results are bit-identical for every host thread count.
+ */
+
+#ifndef PMILL_NET_STEERING_HH
+#define PMILL_NET_STEERING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/log.hh"
+#include "src/common/types.hh"
+#include "src/mem/sim_memory.hh"
+
+namespace pmill {
+
+/** Fabric counters (summed over per-core shards on read). */
+struct SteerStats {
+    std::uint64_t steered = 0;     ///< frames handed off by FlowSteer
+    std::uint64_t passed = 0;      ///< frames already on their home core
+    std::uint64_t delivered = 0;   ///< frames landed on the target queue
+    std::uint64_t stage_drops = 0; ///< handoff ring full at the source
+    std::uint64_t ring_drops = 0;  ///< target queue refused the frame
+};
+
+/** One staged handoff frame (host-side copy; the source's mbuf is
+ * released as soon as the frame is staged). */
+struct StagedFrame {
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t len = 0;
+    TimeNs arrival_ns = 0;  ///< original wire arrival (latency keeps
+                            ///< charging from the wire, so handoff
+                            ///< queueing delay stays visible in p99)
+};
+
+class SteerFabric {
+  public:
+    /** Accounted bytes of one handoff-ring slot (max frame + slack). */
+    static constexpr std::uint32_t kSlotBytes = 2048;
+
+    /**
+     * @param table_size power-of-two bucket count (like the NIC RETA).
+     * @param ring_capacity per-(src,dst) staging bound; overflow is a
+     *        deterministic steer drop, like a full hardware ring.
+     * @param ring_sockets optional per-core NUMA homes: destination
+     *        core c's handoff ring is allocated with home socket
+     *        ring_sockets[c], so a cross-socket handoff's stores pay
+     *        the remote-fill penalty. Null = allocator default.
+     * Simulated backings (the shared table and one handoff-ring
+     * region per destination core) are placed in @p mem so steering
+     * costs flow through the cache model.
+     */
+    SteerFabric(std::uint32_t num_cores, std::uint32_t table_size,
+                std::uint32_t ring_capacity, SimMemory &mem,
+                const std::vector<std::uint32_t> *ring_sockets = nullptr);
+
+    std::uint32_t num_cores() const { return num_cores_; }
+    std::uint32_t
+    table_size() const
+    {
+        return static_cast<std::uint32_t>(table_.size());
+    }
+
+    std::uint32_t index_of(std::uint32_t hash) const { return hash & mask_; }
+
+    std::uint32_t
+    entry(std::uint32_t idx) const
+    {
+        PMILL_ASSERT(idx < table_.size(), "bad steer table index");
+        return table_[idx];
+    }
+
+    /** Reprogram one bucket (serial points only). */
+    void
+    set_entry(std::uint32_t idx, std::uint32_t core)
+    {
+        PMILL_ASSERT(idx < table_.size(), "bad steer table index");
+        PMILL_ASSERT(core < num_cores_, "bad steer table core");
+        table_[idx] = core;
+    }
+
+    /** Home core of @p hash under the current table. */
+    std::uint32_t target_of(std::uint32_t hash) const
+    {
+        return table_[hash & mask_];
+    }
+
+    /** Sim address of bucket @p idx (element-side lookup charge). */
+    Addr table_addr(std::uint32_t idx) const
+    {
+        return table_mem_.at(std::uint64_t(idx) * 4);
+    }
+
+    /**
+     * Sim address of the next slot of @p dst 's handoff ring as seen
+     * from @p src, advancing src's private cursor. Each source keeps
+     * its own cursor (per-core state, race-free in the parallel
+     * phase); the per-core cache hierarchies are private, so two
+     * sources charging stores against the same ring region model
+     * their own cache traffic without interacting.
+     */
+    Addr
+    ring_slot_addr(std::uint32_t src, std::uint32_t dst)
+    {
+        std::uint32_t &cur = cursors_[src * num_cores_ + dst];
+        const Addr a = ring_mem_[dst].at(std::uint64_t(cur) * kSlotBytes);
+        cur = (cur + 1) % ring_capacity_;
+        return a;
+    }
+
+    /// @name Parallel-phase, source-core-private operations.
+    /// @{
+
+    /**
+     * Stage a frame from @p src for @p dst. @return false when src's
+     * staging row for dst is at ring capacity (counted as a stage
+     * drop; the caller still releases the packet).
+     */
+    bool stage(std::uint32_t src, std::uint32_t dst,
+               const std::uint8_t *frame, std::uint32_t len,
+               TimeNs arrival_ns);
+
+    void note_pass(std::uint32_t core) { ++shards_[core].passed; }
+
+    /** Record a bucket selection in @p core 's load shard. */
+    void
+    note_entry_load(std::uint32_t core, std::uint32_t idx)
+    {
+        ++load_shards_[core][idx];
+    }
+    /// @}
+
+    /// @name Serial-point operations (conductor / controller).
+    /// @{
+
+    /**
+     * Deliver every staged frame in deterministic order (destination
+     * ascending, then source ascending, then FIFO). @p deliver is
+     * called as deliver(dst, frame, len, arrival_ns) and returns
+     * false when the destination queue refuses the frame (counted as
+     * a ring drop). Staging rows are emptied.
+     */
+    template <typename Fn>
+    void
+    drain(Fn &&deliver)
+    {
+        if (!has_staged())
+            return;
+        for (std::uint32_t dst = 0; dst < num_cores_; ++dst) {
+            for (std::uint32_t src = 0; src < num_cores_; ++src) {
+                auto &row = staging_[src * num_cores_ + dst];
+                for (StagedFrame &f : row) {
+                    if (deliver(dst, f.bytes.data(), f.len, f.arrival_ns))
+                        ++shards_[dst].delivered;
+                    else
+                        ++shards_[dst].ring_drops;
+                }
+                row.clear();
+            }
+        }
+        for (std::uint32_t c = 0; c < num_cores_; ++c)
+            src_staged_[c] = 0;
+    }
+
+    /**
+     * True when any frame is staged. Serial points only: ORs the
+     * per-source flags (each written only by its owning core during
+     * the parallel phase).
+     */
+    bool
+    has_staged() const
+    {
+        for (std::uint32_t c = 0; c < num_cores_; ++c)
+            if (src_staged_[c])
+                return true;
+        return false;
+    }
+
+    /** Total bucket selections for @p idx (summed over core shards). */
+    std::uint64_t entry_load(std::uint32_t idx) const;
+
+    void reset_entry_loads();
+
+    SteerStats stats() const;
+    /// @}
+
+  private:
+    std::uint32_t num_cores_;
+    std::uint32_t mask_;
+    std::uint32_t ring_capacity_;
+    std::vector<std::uint32_t> table_;
+    MemHandle table_mem_;
+    std::vector<MemHandle> ring_mem_;        ///< one region per dst
+    std::vector<std::uint32_t> cursors_;     ///< per (src,dst) slot cursor
+    std::vector<std::vector<StagedFrame>> staging_;  ///< per (src,dst)
+    std::vector<SteerStats> shards_;         ///< per core
+    std::vector<std::vector<std::uint64_t>> load_shards_;  ///< per core
+    /// Per-source "I staged something" flags (core-owned cells, so
+    /// the parallel phase stays race-free; ORed at serial points).
+    std::vector<std::uint8_t> src_staged_;
+};
+
+} // namespace pmill
+
+#endif // PMILL_NET_STEERING_HH

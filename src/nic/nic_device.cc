@@ -16,6 +16,16 @@ NicDevice::NicDevice(const NicConfig &cfg, CacheHierarchy &caches,
     : cfg_(cfg), caches_(caches)
 {
     PMILL_ASSERT(cfg.num_queues >= 1, "NIC needs at least one queue");
+    if (cfg.rss_table_size != 0) {
+        PMILL_ASSERT(is_pow2(cfg.rss_table_size),
+                     "RSS indirection table size must be a power of two");
+        // Round-robin initial spread: every queue owns the same number
+        // of buckets (+-1), with no low-queue modulo bias.
+        rss_table_.resize(cfg.rss_table_size);
+        for (std::uint32_t i = 0; i < cfg.rss_table_size; ++i)
+            rss_table_[i] = i % cfg.num_queues;
+        rss_loads_.assign(cfg.rss_table_size, 0);
+    }
     queue_caches_.assign(cfg.num_queues, &caches);
     queues_.reserve(cfg.num_queues);
     for (std::uint32_t q = 0; q < cfg.num_queues; ++q) {
@@ -40,6 +50,19 @@ NicDevice::bind_queue_cache(std::uint32_t queue, CacheHierarchy *caches)
 std::uint32_t
 NicDevice::rss_queue(const std::uint8_t *frame, std::uint32_t len) const
 {
+    if (!rss_table_.empty()) {
+        const FiveTuple t = extract_tuple(frame, len);
+        const std::uint32_t idx =
+            rss_hash(t) &
+            (static_cast<std::uint32_t>(rss_table_.size()) - 1);
+        ++rss_loads_[idx];
+        return rss_table_[idx];
+    }
+    // Legacy direct mapping. Its exact behaviour is pinned by
+    // regression test (RssMapping.LegacyModuloPinned): non-power-of-two
+    // queue counts bias low queues and any queue-count change remaps
+    // every flow, which is precisely what the indirection table above
+    // fixes when opted into.
     if (cfg_.num_queues == 1)
         return 0;
     FiveTuple t = extract_tuple(frame, len);
@@ -69,6 +92,9 @@ NicDevice::deliver_impl(std::uint32_t qi, const std::uint8_t *frame,
                         NicStats *st)
 {
     Queue &q = queues_[qi];
+    // Every path below bumps some counter; invalidate the summed
+    // snapshot (relaxed: recomputation happens at serial points only).
+    snap_dirty_.store(true, std::memory_order_relaxed);
 
     if (q.rx_free.empty()) {
         ++st->rx_drops_no_desc;
@@ -140,12 +166,23 @@ NicDevice::stats() const
     return s;
 }
 
+const NicStats &
+NicDevice::stats_snapshot() const
+{
+    if (snap_dirty_.load(std::memory_order_relaxed)) {
+        snap_ = stats();
+        snap_dirty_.store(false, std::memory_order_relaxed);
+    }
+    return snap_;
+}
+
 void
 NicDevice::stats_reset()
 {
     stats_ = NicStats{};
     for (Queue &q : queues_)
         q.rx_stats = NicStats{};
+    snap_dirty_.store(true, std::memory_order_relaxed);
 }
 
 std::uint32_t
@@ -207,18 +244,63 @@ void
 NicDevice::register_metrics(MetricsRegistry &reg,
                             const std::string &prefix) const
 {
+    // All rate counters read the shared shard-summed snapshot: one
+    // observation recomputes the O(queues) sum at most once, instead
+    // of once per column.
     reg.add_probe_counter(prefix + "rx_frames", [this] {
-        return static_cast<double>(stats().rx_frames);
+        return static_cast<double>(stats_snapshot().rx_frames);
     });
     reg.add_probe_counter(prefix + "tx_frames", [this] {
-        return static_cast<double>(stats().tx_frames);
+        return static_cast<double>(stats_snapshot().tx_frames);
     });
     reg.add_probe_counter(prefix + "rx_drops", [this] {
-        const NicStats s = stats();
+        const NicStats &s = stats_snapshot();
         return static_cast<double>(s.rx_drops_no_desc + s.rx_drops_pcie);
     });
     reg.add_gauge(prefix + "rx_ring_occupancy",
                   [this] { return rx_ring_occupancy(); });
+}
+
+bool
+NicDevice::deliver_handoff(std::uint32_t queue, const std::uint8_t *frame,
+                           std::uint32_t len, TimeNs orig_arrival_ns)
+{
+    PMILL_ASSERT(queue < queues_.size(), "bad queue");
+    Queue &q = queues_[queue];
+    if (q.rx_free.empty() || q.completions.full())
+        return false;
+
+    CacheHierarchy &qcache = *queue_caches_[queue];
+    // The copy engine still consumes a posted descriptor...
+    qcache.access(rx_desc_addr(queue, q.rx_free.next_pop_slot()),
+                  kDescBytes, AccessType::kDevRead);
+    RxDescriptor desc;
+    q.rx_free.pop(desc);
+
+    // ...and lands the frame + CQE in the destination core's DDIO
+    // ways, but skips the wire and the PCIe RX pipe: the frame
+    // crossed both when it first arrived on the source queue.
+    std::memcpy(desc.buf_host, frame, len);
+    qcache.access(desc.buf_addr, len, AccessType::kDevWrite);
+
+    Cqe cqe;
+    cqe.buf_addr = desc.buf_addr;
+    cqe.buf_host = desc.buf_host;
+    cqe.len = len;
+    cqe.arrival_ns = orig_arrival_ns;
+    FrameView view = parse_frame(desc.buf_host, len);
+    if (view.ip) {
+        cqe.flags |= 1;
+        FiveTuple t = extract_tuple(desc.buf_host, len);
+        cqe.rss_hash = rss_hash(t);
+    }
+    if (view.vlan)
+        cqe.vlan_tci = view.vlan->tci();
+    cqe.cqe_addr = cq_ring_addr(queue, q.completions.next_push_slot());
+    qcache.access(cqe.cqe_addr, kCqeBytes, AccessType::kDevWrite);
+    const bool pushed = q.completions.push(cqe);
+    PMILL_ASSERT(pushed, "completion ring overflow despite check");
+    return true;
 }
 
 bool
@@ -293,6 +375,7 @@ NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out,
             wire_tx_free_ = departure;
             ++stats_.tx_frames;
             stats_.tx_bytes += head.len;
+            snap_dirty_.store(true, std::memory_order_relaxed);
 
             TxDescriptor dropped;
             q.tx_pending.pop(dropped);

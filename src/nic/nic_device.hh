@@ -19,6 +19,8 @@
 #ifndef PMILL_NIC_NIC_DEVICE_HH
 #define PMILL_NIC_NIC_DEVICE_HH
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -93,6 +95,14 @@ struct NicConfig {
     double pcie_bytes_per_sec = 12.5e9;
     /// Per-packet PCIe cost: TLP headers + descriptor/doorbell DMA.
     std::uint32_t pcie_pkt_overhead_bytes = 30;
+    /// RSS indirection table size (power of two, like mlx5's 128/512
+    /// RETA). 0 (the default) keeps the legacy direct `hash % queues`
+    /// mapping — byte-identical to the pre-table device. Nonzero
+    /// routes `hash & (size-1)` through a reprogrammable table that
+    /// both spreads non-power-of-two queue counts evenly and lets the
+    /// control plane migrate individual buckets without churning
+    /// every flow.
+    std::uint32_t rss_table_size = 0;
 };
 
 /** Drop/packet counters per device. */
@@ -135,6 +145,16 @@ class NicDevice {
      */
     NicStats stats() const;
     void stats_reset();
+
+    /**
+     * Shard-summed counters, recomputed only when a counter has
+     * changed since the last call (a relaxed dirty flag set at every
+     * mutation site). The metric closures read this so one sampler
+     * observation sums the per-queue shards once, not once per
+     * column. Valid only at serial points (epoch edges / the serial
+     * loop), which is when sampling happens.
+     */
+    const NicStats &stats_snapshot() const;
 
     /**
      * Register this device's telemetry under @p prefix: frame/drop
@@ -225,9 +245,67 @@ class NicDevice {
     void drain_tx(TimeNs now, std::vector<TxCompletion> &out,
                   bool defer_dma = false);
 
+    /**
+     * Handoff delivery: place an already-received frame (copied from
+     * another core by the software steering fabric) into @p queue,
+     * bypassing the wire and the PCIe RX pipe — the frame already
+     * crossed both at its original arrival. Still consumes a posted
+     * RX descriptor and performs the frame + CQE device writes on the
+     * queue-bound hierarchy. The CQE carries @p orig_arrival_ns so
+     * end-to-end latency keeps charging from the wire arrival, i.e.
+     * the handoff queueing delay stays visible in p99.
+     * @return false when the queue has no free descriptor or its
+     *         completion ring is full (the caller counts the drop).
+     */
+    bool deliver_handoff(std::uint32_t queue, const std::uint8_t *frame,
+                         std::uint32_t len, TimeNs orig_arrival_ns);
+
     /** RSS queue that would be selected for @p frame. */
     std::uint32_t rss_queue(const std::uint8_t *frame,
                             std::uint32_t len) const;
+
+    /// @name RSS indirection table (enabled by NicConfig::rss_table_size).
+    /// @{
+    bool rss_indirection_enabled() const { return !rss_table_.empty(); }
+
+    std::uint32_t
+    rss_table_size() const
+    {
+        return static_cast<std::uint32_t>(rss_table_.size());
+    }
+
+    std::uint32_t
+    rss_table_entry(std::uint32_t idx) const
+    {
+        PMILL_ASSERT(idx < rss_table_.size(), "bad RSS table index");
+        return rss_table_[idx];
+    }
+
+    /** Reprogram one bucket (control plane; flows hashing to @p idx
+     * migrate to @p queue on their next arrival). */
+    void
+    set_rss_table_entry(std::uint32_t idx, std::uint32_t queue)
+    {
+        PMILL_ASSERT(idx < rss_table_.size(), "bad RSS table index");
+        PMILL_ASSERT(queue < cfg_.num_queues, "bad RSS table queue");
+        rss_table_[idx] = queue;
+    }
+
+    /** Arrivals that selected bucket @p idx since the last reset —
+     * the controller's per-bucket heat signal. */
+    std::uint64_t
+    rss_entry_load(std::uint32_t idx) const
+    {
+        PMILL_ASSERT(idx < rss_loads_.size(), "bad RSS table index");
+        return rss_loads_[idx];
+    }
+
+    void
+    reset_rss_entry_loads()
+    {
+        std::fill(rss_loads_.begin(), rss_loads_.end(), 0);
+    }
+    /// @}
 
     /** Sim address of CQE slot @p slot of @p queue. */
     Addr
@@ -309,6 +387,16 @@ class NicDevice {
     std::vector<CacheHierarchy *> queue_caches_;
     std::vector<Queue> queues_;
     NicStats stats_;
+    /// RSS indirection table + per-bucket arrival counters (empty =
+    /// legacy modulo mapping). Touched only at serial points (RSS
+    /// routing is conductor-side in the epoch scheduler).
+    std::vector<std::uint32_t> rss_table_;
+    mutable std::vector<std::uint64_t> rss_loads_;
+    /// Shard-summed stats() cache behind a relaxed dirty flag (shards
+    /// mutate on worker threads; the flag is atomic so those stores
+    /// are race-free, and recomputation happens at serial points).
+    mutable NicStats snap_;
+    mutable std::atomic<bool> snap_dirty_{true};
     Tracer *tracer_ = nullptr;
     std::uint16_t trace_span_ = 0;
     TimeNs pcie_rx_free_ = 0;  ///< next instant the RX PCIe pipe frees

@@ -41,6 +41,7 @@
 #include "src/net/flow.hh"
 #include "src/net/headers.hh"
 #include "src/net/packet_builder.hh"
+#include "src/net/steering.hh"
 #include "src/nic/nic_device.hh"
 #include "src/runtime/cost_model.hh"
 #include "src/runtime/engine.hh"

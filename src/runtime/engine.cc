@@ -11,6 +11,8 @@
 
 #include "src/common/log.hh"
 #include "src/control/controller.hh"
+#include "src/elements/elements.hh"
+#include "src/net/steering.hh"
 
 namespace pmill {
 
@@ -46,6 +48,7 @@ mem_stats_add(MemStats &into, const MemStats &s)
     into.dev_reads_dram += s.dev_reads_dram;
     into.tlb_misses += s.tlb_misses;
     into.prefetches += s.prefetches;
+    into.numa_remote_fills += s.numa_remote_fills;
 }
 
 void
@@ -78,9 +81,17 @@ struct PendingArrival {
     TimeNs start = 0;  ///< generator emission time (event order key)
     TimeNs done = 0;   ///< wire completion (NicDevice::deliver's now)
     std::uint32_t len = 0;
+    std::uint32_t nic = 0;  ///< ingress device
     const std::uint8_t *frame = nullptr;  ///< trace mode: arena bytes
     std::vector<std::uint8_t> owned;      ///< workload mode: a copy
 };
+
+/** CacheHierarchy::NumaProbe over the allocator's placement map. */
+std::uint32_t
+numa_home_socket(void *ctx, Addr line_addr)
+{
+    return static_cast<SimMemory *>(ctx)->socket_of(line_addr);
+}
 
 /** Pause-then-yield backoff for the epoch barrier spin loops. */
 inline void
@@ -127,15 +138,28 @@ Engine::init(const std::string &config_text)
     const PipelineOpts &opts = opts_;
     PMILL_ASSERT(machine.num_cores >= 1 && machine.num_nics >= 1,
                  "need at least one core and one NIC");
-    PMILL_ASSERT(machine.num_cores == 1 || machine.num_nics == 1,
-                 "multicore runs use a single NIC (RSS)");
+    PMILL_ASSERT(machine.num_sockets >= 1 &&
+                     machine.num_sockets <= machine.num_cores,
+                 "num_sockets %u outside [1, num_cores=%u]",
+                 machine.num_sockets, machine.num_cores);
 
     mem_ = std::make_unique<SimMemory>();
 
+    // NUMA block mapping (contiguous: low cores on socket 0). With
+    // one socket every home is 0 — the allocator default — so the
+    // flat machine is byte-identical to the pre-NUMA layout.
+    auto core_socket = [&machine](std::uint32_t c) {
+        return static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(c) * machine.num_sockets /
+            machine.num_cores);
+    };
+
     // Cores: private hierarchy (LLC statically partitioned — see
     // DESIGN.md), private ExecContext, private pipeline instance
-    // (thread-local elements, flows partitioned by RSS).
+    // (thread-local elements, flows partitioned by RSS). Each core's
+    // pipeline state is homed on its own socket.
     for (std::uint32_t c = 0; c < machine.num_cores; ++c) {
+        mem_->set_home_socket(core_socket(c));
         auto core = std::make_unique<Core>();
         core->index = static_cast<std::uint8_t>(c);
         core->caches = std::make_unique<CacheHierarchy>(machine.cache);
@@ -145,12 +169,19 @@ Engine::init(const std::string &config_text)
         core->pipe = Pipeline::build(config_text, *mem_, opts, &err);
         if (!core->pipe)
             fatal("pipeline build failed: %s", err.c_str());
+        for (Element *e : core->pipe->elements())
+            if (std::strcmp(e->class_name(), "FlowSteer") == 0)
+                core->steer_elems.push_back(static_cast<FlowSteer *>(e));
         cores_.push_back(std::move(core));
     }
 
-    // NICs: one queue per core when a single NIC fans out via RSS.
+    // NICs: every device fans out over one RX queue per core, so core
+    // c polls queue c of every NIC (the paper's single-NIC RSS fan-out
+    // and 2-NICs-on-1-core setups are the edge cases of this grid).
+    // Device structures (rings, CQs) live on socket 0.
+    mem_->set_home_socket(0);
     NicConfig nc = machine.nic;
-    nc.num_queues = machine.num_nics == 1 ? machine.num_cores : 1;
+    nc.num_queues = machine.num_cores;
     queue_dp_.resize(machine.num_nics);
     for (std::uint32_t n = 0; n < machine.num_nics; ++n) {
         nics_.push_back(std::make_unique<NicDevice>(
@@ -161,38 +192,53 @@ Engine::init(const std::string &config_text)
     DatapathConfig dcfg;
     dcfg.burst = opts.burst;
 
-    if (machine.num_nics == 1) {
-        // queue q -> core q.
-        for (std::uint32_t q = 0; q < nc.num_queues; ++q) {
-            Core &core = *cores_[q];
-            nics_[0]->bind_queue_cache(q, core.caches.get());
-            BoundQueue bq;
-            bq.nic = 0;
-            bq.queue = q;
-            bq.dp = make_datapath(opts.model, *nics_[0], *mem_,
-                                  core.pipe->layout(), q, dcfg);
-            queue_dp_[0][q] = bq.dp.get();
-            core.dps.push_back(std::move(bq));
-        }
-    } else {
-        // All NICs polled by core 0 (the paper's 200-Gbps setup).
-        Core &core = *cores_[0];
+    // Datapaths (and their mempools) are per (core, NIC) and homed on
+    // the polling core's socket — the "per-socket mempools" half of
+    // the NUMA model; the steering fabric's rings are the other half.
+    for (std::uint32_t c = 0; c < machine.num_cores; ++c) {
+        Core &core = *cores_[c];
+        mem_->set_home_socket(core_socket(c));
         for (std::uint32_t n = 0; n < machine.num_nics; ++n) {
-            nics_[n]->bind_queue_cache(0, core.caches.get());
+            nics_[n]->bind_queue_cache(c, core.caches.get());
             BoundQueue bq;
             bq.nic = n;
-            bq.queue = 0;
+            bq.queue = c;
             bq.dp = make_datapath(opts.model, *nics_[n], *mem_,
-                                  core.pipe->layout(), 0, dcfg);
-            queue_dp_[n][0] = bq.dp.get();
+                                  core.pipe->layout(), c, dcfg);
+            queue_dp_[n][c] = bq.dp.get();
             core.dps.push_back(std::move(bq));
         }
     }
+    mem_->set_home_socket(0);
 
     for (auto &core : cores_) {
         core->weights.assign(core->dps.size(), 1);
         for (auto &bq : core->dps)
             bq.dp->setup();
+    }
+
+    // Remote-fill detection: with multiple sockets each hierarchy
+    // learns its own socket and asks the allocator where a line lives
+    // on every DRAM fill. Flat machines keep the null probe (and its
+    // byte-identical legacy behavior).
+    if (machine.num_sockets > 1)
+        for (std::uint32_t c = 0; c < machine.num_cores; ++c)
+            cores_[c]->caches->set_numa_probe(&numa_home_socket,
+                                              mem_.get(), core_socket(c));
+
+    // Flow-steering fabric, only when the config steers: shared
+    // table + per-destination handoff rings (each ring homed on its
+    // destination core's socket).
+    if (!cores_[0]->steer_elems.empty()) {
+        std::vector<std::uint32_t> ring_sockets(machine.num_cores);
+        for (std::uint32_t c = 0; c < machine.num_cores; ++c)
+            ring_sockets[c] = core_socket(c);
+        steer_ = std::make_unique<SteerFabric>(
+            machine.num_cores, machine.steer_table_size,
+            machine.steer_ring_capacity, *mem_, &ring_sockets);
+        for (std::uint32_t c = 0; c < machine.num_cores; ++c)
+            for (FlowSteer *fs : cores_[c]->steer_elems)
+                fs->bind(steer_.get(), c);
     }
 
     // Let elements with large data structures reach steady-state
@@ -448,6 +494,44 @@ Engine::register_telemetry()
                 return s.syn_frames;
             }));
     }
+
+    // Steering-fabric counters — registered only when the config has
+    // a FlowSteer element, so legacy timelines keep their exact
+    // column set.
+    if (steer_) {
+        auto steer_counter = [this](const char *name, auto field) {
+            metrics_.add_probe_counter(name, [this, field] {
+                return static_cast<double>(field(steer_->stats()));
+            });
+        };
+        steer_counter("steer_handoffs", [](const SteerStats &s) {
+            return s.steered;
+        });
+        steer_counter("steer_passed", [](const SteerStats &s) {
+            return s.passed;
+        });
+        steer_counter("steer_delivered", [](const SteerStats &s) {
+            return s.delivered;
+        });
+        steer_counter("steer_stage_drops", [](const SteerStats &s) {
+            return s.stage_drops;
+        });
+        steer_counter("steer_ring_drops", [](const SteerStats &s) {
+            return s.ring_drops;
+        });
+    }
+
+    // NUMA remote-fill counter — likewise gated on a multi-socket
+    // machine.
+    if (machine_.num_sockets > 1) {
+        metrics_.add_probe_counter("numa_remote_fills", [this] {
+            double v = 0;
+            for (const auto &core : cores_)
+                v += static_cast<double>(
+                    core->caches->stats().numa_remote_fills);
+            return v;
+        });
+    }
 }
 
 Engine::~Engine() = default;
@@ -526,6 +610,70 @@ Engine::set_queue_weight(std::uint32_t core, std::uint32_t q,
     PMILL_ASSERT(weight >= 1 && weight <= 64,
                  "queue weight %u outside [1, 64]", weight);
     cores_[core]->weights[q] = weight;
+}
+
+std::uint32_t
+Engine::rss_table_size() const
+{
+    if (nics_[0]->rss_indirection_enabled())
+        return nics_[0]->rss_table_size();
+    return steer_ ? steer_->table_size() : 0;
+}
+
+std::uint32_t
+Engine::rss_table_entry(std::uint32_t idx) const
+{
+    if (nics_[0]->rss_indirection_enabled())
+        return nics_[0]->rss_table_entry(idx);
+    PMILL_ASSERT(steer_ != nullptr,
+                 "no indirection table (rss_table_size() is 0)");
+    return steer_->entry(idx);
+}
+
+void
+Engine::set_rss_table_entry(std::uint32_t idx, std::uint32_t queue)
+{
+    PMILL_ASSERT(queue < cores_.size(),
+                 "indirection target %u out of range (engine has %zu "
+                 "cores)",
+                 queue, cores_.size());
+    if (nics_[0]->rss_indirection_enabled()) {
+        // The devices run one shared table program: every NIC's
+        // bucket idx moves together, keeping queue q == core q
+        // consistent across the grid.
+        for (auto &nic : nics_)
+            nic->set_rss_table_entry(idx, queue);
+        return;
+    }
+    PMILL_ASSERT(steer_ != nullptr,
+                 "no indirection table (rss_table_size() is 0)");
+    steer_->set_entry(idx, queue);
+}
+
+std::uint64_t
+Engine::rss_entry_load(std::uint32_t idx) const
+{
+    if (nics_[0]->rss_indirection_enabled()) {
+        std::uint64_t sum = 0;
+        for (const auto &nic : nics_)
+            sum += nic->rss_entry_load(idx);
+        return sum;
+    }
+    PMILL_ASSERT(steer_ != nullptr,
+                 "no indirection table (rss_table_size() is 0)");
+    return steer_->entry_load(idx);
+}
+
+void
+Engine::reset_rss_entry_loads()
+{
+    if (nics_[0]->rss_indirection_enabled()) {
+        for (auto &nic : nics_)
+            nic->reset_rss_entry_loads();
+        return;
+    }
+    if (steer_)
+        steer_->reset_entry_loads();
 }
 
 void
@@ -652,6 +800,30 @@ Engine::step_core(Core &core)
             const TimeNs post = core.clock +
                                 (ctx.elapsed_ns() - core.last_elapsed);
             bq.dp->tx(batch, post, ctx);
+            // Packets FlowSteer handed off were compacted out of the
+            // batch; return their handles through this datapath's
+            // drop path so the mbufs go back to this core's own pools
+            // (the frame bytes are already copied fabric-side).
+            for (FlowSteer *fs : core.steer_elems) {
+                std::vector<PacketHandle> &rel = fs->release_list();
+                if (rel.empty())
+                    continue;
+                std::size_t i = 0;
+                while (i < rel.size()) {
+                    PacketBatch rb;
+                    while (i < rel.size() && rb.count < kMaxBurst) {
+                        rb.pkts[rb.count] = rel[i];
+                        rb.pkts[rb.count].dropped = true;
+                        ++rb.count;
+                        ++i;
+                    }
+                    const TimeNs rt =
+                        core.clock +
+                        (ctx.elapsed_ns() - core.last_elapsed);
+                    bq.dp->tx(rb, rt, ctx);
+                }
+                rel.clear();
+            }
         }
     }
     core.rr_cursor = (core.rr_cursor + 1) %
@@ -812,6 +984,23 @@ Engine::drain_all_tx(TimeNs now)
 }
 
 void
+Engine::flush_steering()
+{
+    if (!steer_ || !steer_->has_staged())
+        return;
+    // Deterministic merge order (dst asc, src asc, FIFO) into NIC 0's
+    // queue for the destination core. deliver_handoff consumes a
+    // posted RX descriptor and lands the frame + CQE with DDIO on the
+    // destination's hierarchy, skipping the PCIe pipes — the frame is
+    // already host-side. The CQE keeps the original wire arrival so
+    // end-to-end latency includes the handoff queueing delay.
+    steer_->drain([this](std::uint32_t dst, const std::uint8_t *frame,
+                         std::uint32_t len, TimeNs arrival_ns) {
+        return nics_[0]->deliver_handoff(dst, frame, len, arrival_ns);
+    });
+}
+
+void
 Engine::begin_measuring(std::vector<ExecCounters> &exec_base,
                         std::vector<MemStats> &mem_base,
                         std::uint64_t *drops_base, TimeNs warm_end)
@@ -950,6 +1139,7 @@ Engine::run_serial(const RunConfig &rc)
         }
 
         drain_all_tx(t);
+        flush_steering();
         if (sampler_ && measuring_) {
             sampler_->advance(t);
             if (controller_)
@@ -1040,13 +1230,9 @@ Engine::finish_run(const std::vector<ExecCounters> &exec_base,
 RunResult
 Engine::run_epoch(const RunConfig &rc)
 {
-    // The epoch scheduler targets the RSS fan-out topology: one NIC,
-    // queue q bound to core q, so every queue's rings/shards/cache
-    // hierarchy are private to exactly one core.
-    PMILL_ASSERT(nics_.size() == 1,
-                 "epoch scheduler requires the single-NIC RSS topology");
-    NicDevice &nic = *nics_[0];
-
+    // The epoch scheduler targets the queue-per-core grid: on every
+    // NIC queue q is bound to core q, so each queue's rings/shards/
+    // cache hierarchy are private to exactly one core.
     const TimeNs warm_end = rc.warmup_us * 1000.0;
     const TimeNs end = warm_end + rc.duration_us * 1000.0;
     const std::uint32_t ncores =
@@ -1099,26 +1285,46 @@ Engine::run_epoch(const RunConfig &rc)
 
     // Per-core work queues, all filled by the conductor at edges and
     // drained by the owning core's worker inside the epoch: arrivals
-    // (RSS pre-routed; queue q == core q) and TX-completion effects
-    // (deferred DMA replays + buffer returns, in drain order).
+    // (RSS pre-routed; queue q == core q on every NIC) and
+    // TX-completion effects (deferred DMA replays + buffer returns,
+    // in drain order, tagged with the completing device).
+    struct PendingFx {
+        std::uint32_t nic = 0;
+        TxCompletion c;
+    };
     std::vector<std::deque<PendingArrival>> arrivals(cores_.size());
-    std::vector<std::vector<TxCompletion>> pending_tx(cores_.size());
+    std::vector<std::vector<PendingFx>> pending_tx(cores_.size());
 
-    // Pre-generate every arrival in [gen.next_start, hi). Exact:
-    // the generator's pacing (next_start advance, load-step switch,
-    // burst gap scale) never depends on delivery outcomes, so
+    // Pre-generate every arrival in [gen.next_start, hi), merging the
+    // per-NIC generators by emission time (ties resolve to the lower
+    // NIC index, exactly as the serial loop's event selection does).
+    // Exact: the generators' pacing (next_start advance, load-step
+    // switch, burst gap scale) never depends on delivery outcomes, so
     // synthesizing ahead of the cores is the same frame/time sequence
     // the serial loop would produce one event at a time.
     auto pregen = [&](TimeNs hi) {
-        Generator &gen = gens_[0];
-        while (gen.next_start < hi && gen.next_start < gen_stop) {
+        for (;;) {
+            std::uint32_t gi = 0;
+            TimeNs best = kInf;
+            for (std::uint32_t n = 0;
+                 n < static_cast<std::uint32_t>(gens_.size()); ++n) {
+                if (gens_[n].next_start < best) {
+                    best = gens_[n].next_start;
+                    gi = n;
+                }
+            }
+            if (!(best < hi) || best >= gen_stop)
+                break;
+            Generator &gen = gens_[gi];
+            NicDevice &nic = *nics_[gi];
             PendingArrival pa;
             pa.start = gen.next_start;
+            pa.nic = gi;
             const std::uint8_t *frame;
             std::uint32_t len;
             double gap_scale = 1.0;
             if (!workloads_.empty()) {
-                len = workloads_[0]->next_frame(
+                len = workloads_[gi]->next_frame(
                     gen_buf_.data(),
                     static_cast<std::uint32_t>(gen_buf_.size()),
                     &gap_scale);
@@ -1151,15 +1357,16 @@ Engine::run_epoch(const RunConfig &rc)
     // the worker at epoch start — the same position in the core's
     // access sequence for every thread count.
     auto apply_tx_effects = [&](std::uint32_t ci) {
-        std::vector<TxCompletion> &fx = pending_tx[ci];
+        std::vector<PendingFx> &fx = pending_tx[ci];
         if (fx.empty())
             return;
         CacheHierarchy &qc = *cores_[ci]->caches;
-        for (const TxCompletion &c : fx) {
+        for (const PendingFx &p : fx) {
+            const TxCompletion &c = p.c;
             qc.access(c.desc_addr, NicDevice::kDescBytes,
                       AccessType::kDevRead);
             qc.access(c.buf_addr, c.len, AccessType::kDevRead);
-            queue_dp_[0][c.queue]->on_tx_complete(c);
+            queue_dp_[p.nic][c.queue]->on_tx_complete(c);
         }
         fx.clear();
     };
@@ -1178,7 +1385,7 @@ Engine::run_epoch(const RunConfig &rc)
             // the serial loop's `next_arrival <= next_core` order.
             while (!aq.empty() && aq.front().start <= core.clock) {
                 const PendingArrival &pa = aq.front();
-                nic.deliver_sharded(
+                nics_[pa.nic]->deliver_sharded(
                     ci, pa.frame ? pa.frame : pa.owned.data(), pa.len,
                     pa.done);
                 aq.pop_front();
@@ -1266,39 +1473,45 @@ Engine::run_epoch(const RunConfig &rc)
     // does. NIC index order, completion order within the drain.
     auto drain_edge = [&](TimeNs now) {
         const bool tron = PMILL_TRACE_ON(tracer_.get());
-        tx_scratch_.clear();
-        nic.drain_tx(now, tx_scratch_, /*defer_dma=*/true);
-        if (tx_scratch_.empty())
-            return;
-        std::uint64_t pkts = 0;
-        std::uint64_t wire_bits = 0;
-        std::uint64_t frame_bits = 0;
-        for (const TxCompletion &c : tx_scratch_) {
-            pending_tx[c.queue].push_back(c);
-            if (PMILL_UNLIKELY(tron) && !inflight_.empty()) {
-                auto it = inflight_.find(arrival_key(c.arrival_ns));
-                if (it != inflight_.end()) {
-                    tracer_->record(TraceEventKind::kTx, c.departure_ns,
-                                    it->second, 0, 0, c.len);
-                    inflight_.erase(it);
+        for (std::uint32_t n = 0;
+             n < static_cast<std::uint32_t>(nics_.size()); ++n) {
+            tx_scratch_.clear();
+            nics_[n]->drain_tx(now, tx_scratch_, /*defer_dma=*/true);
+            if (tx_scratch_.empty())
+                continue;
+            std::uint64_t pkts = 0;
+            std::uint64_t wire_bits = 0;
+            std::uint64_t frame_bits = 0;
+            for (const TxCompletion &c : tx_scratch_) {
+                pending_tx[c.queue].push_back(PendingFx{n, c});
+                if (PMILL_UNLIKELY(tron) && !inflight_.empty()) {
+                    auto it = inflight_.find(arrival_key(c.arrival_ns));
+                    if (it != inflight_.end()) {
+                        tracer_->record(TraceEventKind::kTx,
+                                        c.departure_ns, it->second, 0, 0,
+                                        c.len);
+                        inflight_.erase(it);
+                    }
+                }
+                ++pkts;
+                wire_bits += (c.len + kWireOverheadBytes) * 8ull;
+                lat_interval_->record((c.departure_ns - c.arrival_ns) /
+                                      1000.0);
+                if (measuring_) {
+                    frame_bits += c.len * 8ull;
+                    latency_->record((c.departure_ns - c.arrival_ns) /
+                                     1000.0);
+                    if (tx_capture_)
+                        tx_capture_(c.buf_host, c.len);
                 }
             }
-            ++pkts;
-            wire_bits += (c.len + kWireOverheadBytes) * 8ull;
-            lat_interval_->record((c.departure_ns - c.arrival_ns) / 1000.0);
+            m_tx_pkts_.add(pkts);
+            m_tx_wire_bits_.add(wire_bits);
             if (measuring_) {
-                frame_bits += c.len * 8ull;
-                latency_->record((c.departure_ns - c.arrival_ns) / 1000.0);
-                if (tx_capture_)
-                    tx_capture_(c.buf_host, c.len);
+                tx_pkts_ += pkts;
+                tx_wire_bits_ += wire_bits;
+                tx_frame_bits_ += frame_bits;
             }
-        }
-        m_tx_pkts_.add(pkts);
-        m_tx_wire_bits_.add(wire_bits);
-        if (measuring_) {
-            tx_pkts_ += pkts;
-            tx_wire_bits_ += wire_bits;
-            tx_frame_bits_ += frame_bits;
         }
     };
 
@@ -1316,8 +1529,10 @@ Engine::run_epoch(const RunConfig &rc)
         // 3) Serial edge phase, fixed order: wire drain (pre-flip at
         //    the warm_end edge, so the measured window is departures
         //    in (warm_end, end] for every thread count), then the
-        //    measuring flip, then sampling + control.
+        //    steering merge, then the measuring flip, then
+        //    sampling + control.
         drain_edge(t1);
+        flush_steering();
         if (!measuring_ && t1 >= warm_end)
             begin_measuring(exec_base, mem_base, &drops_base, warm_end);
         if (last) {

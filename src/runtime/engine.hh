@@ -48,6 +48,24 @@ struct MachineConfig {
     NicConfig nic;
     std::uint32_t num_cores = 1;
     std::uint32_t num_nics = 1;
+    /**
+     * NUMA sockets. Cores are split across sockets in contiguous
+     * blocks (core c lives on socket c * num_sockets / num_cores) and
+     * each core's pipeline state and mempools are homed on its own
+     * socket; DRAM fills from a remote socket pay
+     * CacheConfig::numa_remote_ns. 1 (the default) keeps the flat
+     * machine every legacy result was produced on.
+     */
+    std::uint32_t num_sockets = 1;
+    /**
+     * Software flow-steering fabric geometry, used only when the
+     * pipeline contains a FlowSteer element (no element, no fabric —
+     * legacy configurations are unaffected). Power-of-two bucket
+     * count of the shared steering table and per-(src,dst) handoff
+     * staging bound.
+     */
+    std::uint32_t steer_table_size = 256;
+    std::uint32_t steer_ring_capacity = 512;
 };
 
 /** Parameters of one measurement run. */
@@ -113,6 +131,8 @@ struct RunResult {
 };
 
 class Controller;
+class FlowSteer;
+class SteerFabric;
 
 /** One experiment: machine + NF configuration + traffic. */
 class Engine : public Actuator {
@@ -208,6 +228,25 @@ class Engine : public Actuator {
                           std::uint32_t weight) override;
 
     /**
+     * @name RSS/steering table actuation.
+     * Routed to the NIC indirection tables when
+     * NicConfig::rss_table_size is nonzero (a write reprograms the
+     * same entry on every NIC, reads come from NIC 0 — the NICs run
+     * one shared table program, like a bonded port), otherwise to the
+     * software steering fabric when the pipeline carries a FlowSteer
+     * element. Without either, rss_table_size() is 0 and the rest of
+     * the group must not be called.
+     * @{
+     */
+    std::uint32_t rss_table_size() const override;
+    std::uint32_t rss_table_entry(std::uint32_t idx) const override;
+    void set_rss_table_entry(std::uint32_t idx,
+                             std::uint32_t queue) override;
+    std::uint64_t rss_entry_load(std::uint32_t idx) const override;
+    void reset_rss_entry_loads() override;
+    /// @}
+
+    /**
      * Attach (or detach, with nullptr) a controller. Non-owning; the
      * engine calls on_run_start() when run() begins and observe()
      * after every sampler advance inside the measured window.
@@ -217,6 +256,22 @@ class Engine : public Actuator {
 
     /** The telemetry registry (aggregate + per-queue metrics). */
     MetricsRegistry &metrics() { return metrics_; }
+
+    /**
+     * The software flow-steering fabric, or nullptr when the pipeline
+     * has no FlowSteer element.
+     */
+    SteerFabric *steering() { return steer_.get(); }
+    const SteerFabric *steering() const { return steer_.get(); }
+
+    /** NUMA socket core @p c lives on (contiguous blocks). */
+    std::uint32_t
+    socket_of_core(std::uint32_t c) const
+    {
+        return static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(c) * machine_.num_sockets /
+            cores_.size());
+    }
 
     /**
      * Workload source feeding NIC @p nic, or nullptr when this engine
@@ -337,6 +392,11 @@ class Engine : public Actuator {
         /// Core cycles burned busy-polling dry queues (counter).
         double poll_wait_cycles = 0;
         /// @}
+        /// FlowSteer instances of this core's pipeline (bound to the
+        /// shared fabric; empty when the config has none). Their
+        /// release lists are flushed through the owning datapath
+        /// after every process() call.
+        std::vector<FlowSteer *> steer_elems;
     };
 
     struct Generator {
@@ -377,6 +437,14 @@ class Engine : public Actuator {
     void deliver_next(std::uint32_t nic_idx);
 
     void drain_all_tx(TimeNs now);
+
+    /**
+     * Merge every staged handoff frame into its home core's NIC queue
+     * (serial points only). Frames land on NIC 0's queue for the
+     * destination core via the PCIe-skipping handoff path; a refused
+     * frame (no RX descriptor / CQ full) is a steer ring drop.
+     */
+    void flush_steering();
 
     /// @name run() backends (dispatch on RunConfig::host_threads).
     /// @{
@@ -423,6 +491,8 @@ class Engine : public Actuator {
     Controller *controller_ = nullptr;  ///< non-owning; may be null
 
     std::unique_ptr<SimMemory> mem_;
+    /// Flow-steering fabric (only when the config has FlowSteer).
+    std::unique_ptr<SteerFabric> steer_;
     std::vector<std::unique_ptr<NicDevice>> nics_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<Generator> gens_;

@@ -117,6 +117,26 @@ rt -> DecIPTTL
 }
 
 std::string
+steered_router_config(std::uint32_t burst)
+{
+    return strprintf(R"(
+// router with software flow steering ahead of the classifier
+input  :: FromDPDKDevice(PORT 0, BURST %u);
+output :: ToDPDKDevice(PORT 0, BURST %u);
+class :: Classifier(ARP, IP);
+rt :: IPLookup(20.0.0.0/8 0, 21.0.0.0/8 0, 22.0.0.0/8 0, 23.0.0.0/8 0,
+               10.0.0.0/8 0, 0.0.0.0/0 0);
+input -> FlowSteer -> class;
+class [0] -> ARPResponder(10.0.0.1, 02:00:00:00:00:10) -> output;
+class [1] -> CheckIPHeader -> rt;
+rt -> DecIPTTL
+   -> EtherRewrite(SRC 02:00:00:00:00:10, DST 02:00:00:00:00:20)
+   -> output;
+)",
+                     burst, burst);
+}
+
+std::string
 workpackage_config(std::uint32_t s_mb, std::uint32_t n, std::uint32_t w,
                    std::uint32_t burst)
 {

@@ -52,6 +52,16 @@ std::string ids_conntrack_config(std::uint32_t burst,
 std::string workpackage_config(std::uint32_t s_mb, std::uint32_t n,
                                std::uint32_t w,
                                std::uint32_t burst = 32);
+
+/**
+ * router_config() with a FlowSteer stage ahead of the classifier.
+ * On a single-core engine the element stays unbound and transparent;
+ * on a multicore engine it consults the shared SteerFabric table and
+ * re-steers flows whose bucket maps to another core through the
+ * per-core handoff rings (the software analogue of reprogramming the
+ * NIC's RSS indirection table).
+ */
+std::string steered_router_config(std::uint32_t burst = 32);
 /// @}
 
 /// @name Named optimization variants (§4.1 / §4.2).

@@ -76,6 +76,14 @@ classify_column(const std::string &column)
     // contain "cycles"/"stall".
     if (has_token(toks, {"acct"}))
         return ColumnClass::kInformational;
+    // Steering and NUMA placement counters ("steer_handoffs",
+    // "numa_remote_fills"): absolute volumes set by the placement
+    // policy under test, not quality signals — a rebalance that helps
+    // p99 legitimately moves every one of them. Checked before the
+    // latency tokens because the names also contain "drops"/"fills";
+    // eq_-prefixed variants still gate exactly above.
+    if (has_token(toks, {"steer", "numa"}))
+        return ColumnClass::kInformational;
     if (has_token(toks, {"latency", "p50", "p99", "p999", "us", "ns",
                          "miss", "misses", "drop", "drops", "cycles",
                          "cpp", "stall", "stalls"}))

@@ -131,6 +131,30 @@ TEST(BenchDiffClassify, AcctColumnsAreInformationalUnlessEqGated)
     EXPECT_EQ(classify_column("eq_acct_residual"), ColumnClass::kExact);
 }
 
+TEST(BenchDiffClassify, SteerAndNumaColumnsAreInformational)
+{
+    // Steering / NUMA volumes are placement-policy outputs: a
+    // rebalance that improves p99 legitimately moves every handoff
+    // and remote-fill count, so they never gate on their own even
+    // though the names carry "drops"/"fills"-style tokens.
+    EXPECT_EQ(classify_column("steer_handoffs"),
+              ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("steer_ring_drops"),
+              ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("steer_stage_drops"),
+              ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("numa_remote_fills"),
+              ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("Numa remote(ns)"),
+              ColumnClass::kInformational);
+
+    // The eq token still wins: bit-exactness columns derived from
+    // steering counters hard-gate like any other eq_ column.
+    EXPECT_EQ(classify_column("eq_steer_handoffs"), ColumnClass::kExact);
+    EXPECT_EQ(classify_column("eq_numa_remote_fills"),
+              ColumnClass::kExact);
+}
+
 TEST(BenchDiffClassify, HostParallelColumns)
 {
     // The host_parallel bench reports wall-clock scaling next to

@@ -82,18 +82,39 @@ TEST(EngineRun, ResultFieldsAreConsistent)
     EXPECT_GT(r.ipc, 0.0);
 }
 
+TEST(EngineRun, MultiNicMulticoreGrid)
+{
+    // 2 NICs x 2 cores: every NIC fans out over one queue per core,
+    // so each core polls its queue on both devices and the engine
+    // forwards traffic from both generators.
+    Trace t = make_fixed_size_trace(256, 64);
+    MachineConfig m;
+    m.num_cores = 2;
+    m.num_nics = 2;
+    Engine engine(m, forwarder_config(), PipelineOpts::vanilla(), t);
+    EXPECT_EQ(engine.num_cores(), 2u);
+    RunConfig rc;
+    rc.offered_gbps = 20.0;
+    rc.warmup_us = 50.0;
+    rc.duration_us = 200.0;
+    rc.sample_interval_us = 0.0;
+    RunResult r = engine.run(rc);
+    EXPECT_GT(r.tx_pkts, 0u);
+    EXPECT_GT(r.throughput_gbps, 0.0);
+}
+
 TEST(EngineRun, RejectsInvalidTopology)
 {
     Trace t = make_fixed_size_trace(256, 64);
     MachineConfig m;
     m.num_cores = 2;
-    m.num_nics = 2;
+    m.num_sockets = 4;  // more sockets than cores is meaningless
     EXPECT_DEATH(
         {
             Engine engine(m, forwarder_config(), PipelineOpts::vanilla(),
                           t);
         },
-        "multicore");
+        "num_sockets");
 }
 
 TEST(EngineRun, EmptyTraceRejected)

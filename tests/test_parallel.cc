@@ -244,6 +244,36 @@ TEST(EpochEdge, TracingSerializesButStaysDeterministic)
     expect_bitexact(t1, t4);
 }
 
+// The generalized topology grid: every core polls its queue on EVERY
+// NIC, and the epoch pregenerator merges the per-NIC arrival streams
+// by emission time (lowest NIC index on ties, matching the serial
+// loop's event scan). Multi-NIC multicore runs must be thread-
+// invariant like the single-NIC ones.
+TEST(Parallel, MultiNicGridThreadInvariant)
+{
+    auto run_one = [](std::uint32_t threads) {
+        MachineConfig m;
+        m.num_cores = 4;
+        m.num_nics = 2;
+        Engine engine(m, router_config(), opts_packetmill(),
+                      default_campus_trace());
+        RunConfig rc;
+        rc.offered_gbps = 60.0;
+        rc.warmup_us = 200.0;
+        rc.duration_us = 600.0;
+        rc.sample_interval_us = 100.0;
+        rc.host_threads = threads;
+        rc.epoch_us = 1.0;
+        return snapshot(engine, rc);
+    };
+    const Snap t1 = run_one(1);
+    const Snap t2 = run_one(2);
+    const Snap t4 = run_one(4);
+    EXPECT_GT(t1.r.tx_pkts, 0u);
+    expect_bitexact(t1, t2);
+    expect_bitexact(t1, t4);
+}
+
 // A single-core engine always runs the serial loop: host_threads = 1
 // must reproduce the host_threads = 0 legacy results exactly.
 TEST(Parallel, SingleCoreFallsBackToSerialLoop)
