@@ -1,9 +1,10 @@
 /**
  * @file
  * Reproduces Figure 5a: forwarder throughput vs. processor frequency
- * for the three metadata-management models (Copying, Overlaying,
- * X-Change), one NIC and one core, LTO enabled everywhere (§4.2).
- * Fixed-size 1024-B packets at 100 Gbps offered load.
+ * for the metadata-management models (Copying, Overlaying, X-Change,
+ * plus this repo's Parking extension), one NIC and one core, LTO
+ * enabled everywhere (§4.2). Fixed-size 1024-B packets at 100 Gbps
+ * offered load.
  */
 
 #include <cstdio>
@@ -24,12 +25,13 @@ main()
     BenchReport rep(
         "fig05a_models",
         "Figure 5a: forwarder throughput (Gbps), one NIC / one core");
-    rep.header({"Freq(GHz)", "Copying", "Overlaying", "X-Change"});
+    rep.header({"Freq(GHz)", "Copying", "Overlaying", "X-Change",
+                "Parking"});
     for (double f : freqs) {
         std::vector<std::string> row = {strprintf("%.1f", f)};
         for (MetadataModel m :
              {MetadataModel::kCopying, MetadataModel::kOverlaying,
-              MetadataModel::kXchange}) {
+              MetadataModel::kXchange, MetadataModel::kParking}) {
             ExperimentSpec spec;
             spec.config = config;
             spec.opts = opts_model(m);

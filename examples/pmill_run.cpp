@@ -11,7 +11,14 @@
  *
  * Options:
  *   --opt vanilla|devirt|constants|static|all|packetmill|lto-reorder
- *   --model copying|overlaying|xchange      (metadata model override)
+ *   --model copying|overlaying|xchange|parking
+ *                       (metadata model override)
+ *   --park-split BYTES  parking model header/payload split point
+ *                       (default 96): frames longer than this keep
+ *                       only the first BYTES in the data buffer and
+ *                       park the rest. Requires --model parking (or
+ *                       an --opt level that selects it); rejected
+ *                       otherwise.
  *   --freq GHZ          core frequency (default 2.3)
  *   --offered GBPS      offered load (default 100)
  *   --cores N           RSS cores (default 1)
@@ -119,6 +126,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <config.click> [--opt LEVEL] [--model M] "
+                 "[--park-split BYTES] "
                  "[--freq GHZ] [--offered GBPS] [--cores N] "
                  "[--host-threads N] [--nics N] [--sockets N] "
                  "[--rss-table N] [--queue-weight W] "
@@ -206,6 +214,8 @@ pick_model(const std::string &name, MetadataModel *out)
         *out = MetadataModel::kOverlaying;
     else if (name == "xchange")
         *out = MetadataModel::kXchange;
+    else if (name == "parking")
+        *out = MetadataModel::kParking;
     else
         return false;
     return true;
@@ -226,6 +236,7 @@ main(int argc, char **argv)
     std::uint32_t cores = 1, nics = 1, fixed_size = 0;
     std::uint32_t host_threads = 1;
     std::uint32_t sockets = 1, rss_table = 0, queue_weight = 1;
+    std::uint32_t park_split = 0;  // 0 = not given (model default 96)
     bool do_verify = false, do_report = false, do_json = false;
     bool do_explain = false;
     std::string stats_json_path, stats_csv_path;
@@ -267,8 +278,13 @@ main(int argc, char **argv)
             MetadataModel m;
             const char *v = next();
             if (!pick_model(v, &m))
-                flag_error("--model", "copying|overlaying|xchange", v);
+                flag_error("--model",
+                           "copying|overlaying|xchange|parking", v);
             opts.model = m;
+        } else if (a == "--park-split") {
+            park_split = parse_u32_arg(
+                "--park-split", next(), 64, 1514,
+                "a split point in [64, 1514] bytes");
         } else if (a == "--freq") {
             freq = parse_double_arg("--freq", next(), 0.0, 10.0,
                                     "a frequency in (0, 10] GHz", true);
@@ -385,6 +401,17 @@ main(int argc, char **argv)
                      "idle forever)\n",
                      host_threads, cores);
         return 2;
+    }
+    if (park_split != 0) {
+        // The split only exists in the parking datapath; silently
+        // accepting it under another model would look like it worked.
+        if (opts.model != MetadataModel::kParking) {
+            std::fprintf(stderr,
+                         "pmill_run: --park-split requires the parking "
+                         "metadata model (--model parking)\n");
+            return 2;
+        }
+        opts.park_split_bytes = park_split;
     }
     if (!decision_log_path.empty() && control_policy.empty()) {
         std::fprintf(stderr,

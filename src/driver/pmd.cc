@@ -252,6 +252,9 @@ PmdXchg::rx_burst(TimeNs now, void **out, std::uint32_t max,
         adapter_.set_rss_hash(slot.pkt, cqe.rss_hash, sink);
         adapter_.set_timestamp(slot.pkt, cqe.arrival_ns, sink);
         adapter_.set_packet_type(slot.pkt, cqe.flags, sink);
+        if (cqe.park_len != 0)
+            adapter_.set_park(slot.pkt, cqe.park_ticket, cqe.park_len,
+                              sink);
         sink_compute(sink, 9, 22);  // decode + conversion-call glue
 
         // Exchange: the application's spare buffer replaces the one
@@ -290,15 +293,24 @@ PmdXchg::tx_burst(void **pkts, std::uint32_t n, TimeNs now,
         d.len = adapter_.tx_len(pkts[i], sink);
         d.arrival_ns = adapter_.tx_arrival(pkts[i]);
         d.post_ns = now;
+        d.park_len = adapter_.tx_park_len(pkts[i]);
+        if (d.park_len != 0) {
+            d.park_addr = adapter_.tx_park_addr(pkts[i]);
+            d.park_ticket = adapter_.tx_park_ticket(pkts[i]);
+            d.park_host = adapter_.tx_park_host(pkts[i]);
+        }
         sink_store(sink,
                    nic_.tx_desc_addr(queue_, nic_.tx_next_post_slot(queue_)),
                    NicDevice::kDescBytes);
         sink_compute(sink, 4, 10);
         if (!nic_.post_tx(queue_, d)) {
-            for (std::uint32_t j = i; j < n; ++j)
+            for (std::uint32_t j = i; j < n; ++j) {
+                // Driver-side drop: parked payloads must not leak.
+                adapter_.release_parked(pkts[j], sink);
                 adapter_.recycle_buffer(
                     adapter_.tx_buffer_addr(pkts[j], sink),
                     adapter_.tx_buffer_host(pkts[j]), sink);
+            }
             return sent;
         }
         ++sent;

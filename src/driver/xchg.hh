@@ -81,6 +81,62 @@ class XchgAdapter {
      */
     virtual void recycle_buffer(Addr buf_addr, std::uint8_t *host,
                                 AccessSink *sink) = 0;
+
+    /// @name Parking-model hooks. Defaults are no-ops / "nothing
+    /// parked", so plain X-Change adapters keep the exact base
+    /// contract; only the Parking datapath overrides them.
+    /// @{
+    /** RX: record the parked-payload ticket on this packet. */
+    virtual void
+    set_park(void *pkt, std::uint32_t ticket, std::uint32_t park_len,
+             AccessSink *sink)
+    {
+        (void)pkt;
+        (void)ticket;
+        (void)park_len;
+        (void)sink;
+    }
+    /** TX: parked payload length (0 = nothing parked). */
+    virtual std::uint32_t
+    tx_park_len(void *pkt)
+    {
+        (void)pkt;
+        return 0;
+    }
+    /** TX: park-arena address of the parked payload. */
+    virtual Addr
+    tx_park_addr(void *pkt)
+    {
+        (void)pkt;
+        return 0;
+    }
+    /** TX: the packet's park ticket. */
+    virtual std::uint32_t
+    tx_park_ticket(void *pkt)
+    {
+        (void)pkt;
+        return 0;
+    }
+    /** TX: host backing of the parked payload (for capture/steering
+     * consumers that gather the full frame themselves). */
+    virtual const std::uint8_t *
+    tx_park_host(void *pkt)
+    {
+        (void)pkt;
+        return nullptr;
+    }
+    /**
+     * Release the packet's parked payload on a driver-side abort
+     * (TX ring full): the frame is dropped, so its ticket must not
+     * leak.
+     */
+    virtual void
+    release_parked(void *pkt, AccessSink *sink)
+    {
+        (void)pkt;
+        (void)sink;
+    }
+    /// @}
 };
 
 } // namespace pmill

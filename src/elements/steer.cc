@@ -5,7 +5,10 @@
  * contract).
  */
 
+#include <cstring>
+
 #include "src/elements/elements.hh"
+#include "src/net/headers.hh"
 #include "src/net/steering.hh"
 
 namespace pmill {
@@ -46,10 +49,25 @@ FlowSteer::process(PacketBatch &batch, ExecContext &ctx)
         // dropped: mid-pipeline drop compaction does not release
         // buffers, and steered packets must not count as pipeline
         // drops.
+        // Parking model: the buffer holds only the header prefix, so
+        // the parked payload must be materialized (per-line loads
+        // from the park arena) and the full frame gathered into a
+        // scratch before it can be copied into the handoff ring; the
+        // destination core re-parks it on delivery. No-op for every
+        // other model (park_len == 0).
+        const std::uint8_t *frame = h.data;
+        std::uint8_t gather[kMaxFrameLen];
+        if (h.park_len != 0) {
+            const std::uint32_t hdr = h.len - h.park_len;
+            std::memcpy(gather, h.data, hdr);
+            ctx.materialize_payload(h.park_addr, h.park_len, h.park_host,
+                                    gather + hdr);
+            frame = gather;
+        }
         const Addr slot = fabric_->ring_slot_addr(core_, dst);
         ctx.store(slot, h.len);
         ctx.on_compute(2, 4);
-        fabric_->stage(core_, dst, h.data, h.len, h.arrival_ns);
+        fabric_->stage(core_, dst, frame, h.len, h.arrival_ns);
         release_.push_back(h);
     }
     batch.count = kept;

@@ -357,6 +357,11 @@ class XchgDatapath : public Datapath, public XchgAdapter {
         std::uint8_t *buf_host = nullptr;
         std::uint32_t len = 0;
         TimeNs arrival = 0;
+        // Parking model only; always zero under plain X-Change.
+        std::uint32_t park_ticket = 0;
+        std::uint32_t park_len = 0;
+        Addr park_addr = 0;
+        const std::uint8_t *park_host = nullptr;
     };
 
     static constexpr std::uint32_t kBufStride =
@@ -365,11 +370,25 @@ class XchgDatapath : public Datapath, public XchgAdapter {
     XchgDatapath(NicDevice &nic, SimMemory &mem,
                  const MetadataLayout &layout, std::uint32_t queue,
                  const DatapathConfig &cfg)
+        : XchgDatapath(nic, mem, layout, queue, cfg, kBufStride)
+    {}
+
+  protected:
+    /**
+     * @p buf_stride sizes each data buffer (headroom + data room).
+     * The Parking subclass passes a header-only stride: its buffers
+     * never hold more than the split prefix, so the buffer arena —
+     * and with it the TLB/cache footprint the CPU walks per packet —
+     * shrinks by an order of magnitude.
+     */
+    XchgDatapath(NicDevice &nic, SimMemory &mem,
+                 const MetadataLayout &layout, std::uint32_t queue,
+                 const DatapathConfig &cfg, std::uint64_t buf_stride)
         : layout_(layout), pmd_(nic, *this, queue),
           spares_(1u << log2_ceil(2 * nic.config().rx_ring_size +
                                   nic.config().tx_ring_size +
                                   4 * cfg.xchg_meta_slots + 2)),
-          cfg_(cfg)
+          cfg_(cfg), buf_stride_(buf_stride)
     {
         nic_ring_size_ = nic.config().rx_ring_size;
         const std::uint64_t meta_stride =
@@ -390,19 +409,21 @@ class XchgDatapath : public Datapath, public XchgAdapter {
         const std::uint32_t nbufs =
             2 * nic.config().rx_ring_size + nic.config().tx_ring_size +
             4 * cfg.xchg_meta_slots;
-        buf_mem_ = mem.alloc(std::uint64_t(nbufs) * kBufStride,
+        buf_mem_ = mem.alloc(std::uint64_t(nbufs) * buf_stride_,
                              kCacheLineBytes, Region::kPacketData);
         spares_mem_ = mem.alloc(spares_.capacity() * 8ull, kCacheLineBytes,
                                 Region::kMetadataPool);
         for (std::uint32_t i = 0; i < nbufs; ++i) {
             // Post the address past the headroom, like the mbuf path.
             spares_.push(Spare{
-                buf_mem_.addr + std::uint64_t(i) * kBufStride +
+                buf_mem_.addr + std::uint64_t(i) * buf_stride_ +
                     kMbufHeadroomBytes,
-                buf_mem_.host + std::uint64_t(i) * kBufStride +
+                buf_mem_.host + std::uint64_t(i) * buf_stride_ +
                     kMbufHeadroomBytes});
         }
     }
+
+  public:
 
     void
     setup() override
@@ -424,6 +445,9 @@ class XchgDatapath : public Datapath, public XchgAdapter {
             fill_handle(h, xp->buf_addr, xp->buf_host, xp->len, xp->arrival);
             h.meta_addr = xp->meta_addr;
             h.meta_host = xp->meta_host;
+            h.park_addr = xp->park_addr;
+            h.park_host = xp->park_host;
+            h.park_len = xp->park_len;
             h.backing = xp;
             PacketView v(h, layout_, &ctx);
             if (ctx.opts().batch_link)
@@ -603,11 +627,11 @@ class XchgDatapath : public Datapath, public XchgAdapter {
     {
         // Reset to the canonical post offset (headroom restored).
         const std::uint64_t idx =
-            (buf_addr - buf_mem_.addr) / kBufStride;
-        const Addr canonical = buf_mem_.addr + idx * kBufStride +
+            (buf_addr - buf_mem_.addr) / buf_stride_;
+        const Addr canonical = buf_mem_.addr + idx * buf_stride_ +
                                kMbufHeadroomBytes;
         std::uint8_t *chost =
-            buf_mem_.host + idx * kBufStride + kMbufHeadroomBytes;
+            buf_mem_.host + idx * buf_stride_ + kMbufHeadroomBytes;
         (void)host;
         AcctScope acct_scope(sink, kAcctMempool);
         sink_store(sink, spares_mem_.addr, 8);
@@ -615,7 +639,7 @@ class XchgDatapath : public Datapath, public XchgAdapter {
         PMILL_ASSERT(ok, "spare ring overflow");
     }
 
-  private:
+  protected:
     struct Spare {
         Addr addr = 0;
         std::uint8_t *host = nullptr;
@@ -658,7 +682,176 @@ class XchgDatapath : public Datapath, public XchgAdapter {
     Ring<Spare> spares_;
     MemHandle spares_mem_;
     DatapathConfig cfg_;
+    std::uint64_t buf_stride_ = kBufStride;
     std::uint32_t nic_ring_size_ = 0;
+};
+
+/**
+ * Parking model: X-Change plus a parked-payload store. The NIC DMAs
+ * only the header prefix (cfg.park_split_bytes) into the packet
+ * buffer and parks the rest in a per-queue PayloadPark arena
+ * (DRAM-direct, no DDIO/LLC allocation — see AccessType::kParkWrite).
+ * The pipeline runs header-only; the TX descriptor carries the park
+ * ticket so the NIC gathers header + payload at drain time.
+ *
+ * Host-functional invariant: PacketHandle::len stays the FULL frame
+ * length; the buffer holds only the first len - park_len bytes, and
+ * the payload bytes live exclusively in the park slot until the NIC's
+ * TX gather. Consumers that need complete frames (TX capture, flow
+ * steering) gather (buffer header, park slot) themselves — which is
+ * what lets the buffers be header-sized: the arena the CPU walks per
+ * packet shrinks from nbufs x 2176 B (megabytes, TLB-hostile) to
+ * nbufs x ~256 B, the "header-only hot path" footprint.
+ */
+class ParkingDatapath : public XchgDatapath {
+  public:
+    ParkingDatapath(NicDevice &nic, SimMemory &mem,
+                    const MetadataLayout &layout, std::uint32_t queue,
+                    const DatapathConfig &cfg)
+        : XchgDatapath(nic, mem, layout, queue, cfg,
+                       // Header-sized buffers: data room for the split
+                       // prefix (line-rounded), headroom for in-place
+                       // encap growth, exactly like the full stride.
+                       kMbufHeadroomBytes +
+                           round_up(cfg.park_split_bytes, kCacheLineBytes)),
+          park_(mem,
+                2 * nic.config().rx_ring_size + nic.config().tx_ring_size +
+                    4 * cfg.xchg_meta_slots,
+                kMbufDataRoomBytes)
+    {
+        // One park slot per data buffer: a ticket can live exactly as
+        // long as the frame that owns it, so the arena never runs dry.
+        nic.bind_queue_park(queue, &park_, cfg.park_split_bytes);
+    }
+
+    void
+    tx(PacketBatch &batch, TimeNs now, ExecContext &ctx) override
+    {
+        void *pkts[kMaxBurst];
+        std::uint32_t n = 0;
+        AcctScope acct_scope(ctx, kAcctMetadata);
+        for (std::uint32_t i = 0; i < batch.count; ++i) {
+            PacketHandle &h = batch[i];
+            auto *xp = static_cast<XPkt *>(h.backing);
+            if (h.dropped) {
+                if (xp->park_ticket != 0) {
+                    park_.release(xp->park_ticket, /*dropped=*/true);
+                    xp->park_ticket = 0;
+                    xp->park_len = 0;
+                }
+                recycle_buffer(xp->buf_addr, xp->buf_host, &ctx);
+                continue;
+            }
+            if (h.len != xp->len || h.data_addr != xp->buf_addr) {
+                PacketView v(h, layout_, &ctx);
+                v.write(Field::kLen, h.len);
+                v.write(Field::kDataAddr, h.data_addr);
+                xp->len = h.len;
+                xp->buf_addr = h.data_addr;
+                xp->buf_host = h.data;
+            }
+            if (xp->park_len != 0) {
+                // The PMD reads the ticket to build the gather
+                // descriptor — that load is real metadata-model work.
+                // No rejoin happens here: the payload stays parked and
+                // the NIC gathers (buffer header, park slot) at drain.
+                sink_load(&ctx,
+                          xp->meta_addr +
+                              layout_.offset_of(Field::kParkTicket),
+                          field_size(Field::kParkTicket));
+            }
+            pkts[n++] = xp;
+        }
+        if (n)
+            pmd_.tx_burst(pkts, n, now, &ctx);
+    }
+
+    void
+    on_tx_complete(const TxCompletion &c) override
+    {
+        // The ticket rode the descriptor, so completion-time release
+        // is safe even after the XPkt slot was reused for new RX.
+        if (c.park_ticket != 0)
+            park_.release(c.park_ticket, /*dropped=*/false);
+        XchgDatapath::on_tx_complete(c);
+    }
+
+    MetadataModel model() const override { return MetadataModel::kParking; }
+
+    bool
+    park_stats(PayloadPark::Stats *out) const override
+    {
+        *out = park_.stats();
+        return true;
+    }
+
+    // ----- XchgAdapter parking hooks -----
+
+    bool
+    next_rx_slot(RxSlot &slot, AccessSink *sink) override
+    {
+        if (!XchgDatapath::next_rx_slot(slot, sink))
+            return false;
+        // Metadata slots are reused round-robin; scrub any stale park
+        // state so an unparked frame never inherits a ticket.
+        auto *xp = static_cast<XPkt *>(slot.pkt);
+        xp->park_ticket = 0;
+        xp->park_len = 0;
+        xp->park_addr = 0;
+        xp->park_host = nullptr;
+        return true;
+    }
+
+    void
+    set_park(void *pkt, std::uint32_t ticket, std::uint32_t park_len,
+             AccessSink *sink) override
+    {
+        auto *xp = static_cast<XPkt *>(pkt);
+        xp->park_ticket = ticket;
+        xp->park_len = park_len;
+        xp->park_addr = park_.slot_addr(ticket);
+        xp->park_host = park_.slot_host(ticket);
+        field_store(xp, Field::kParkTicket, ticket, sink);
+    }
+
+    std::uint32_t
+    tx_park_len(void *pkt) override
+    {
+        return static_cast<XPkt *>(pkt)->park_len;
+    }
+
+    Addr
+    tx_park_addr(void *pkt) override
+    {
+        return static_cast<XPkt *>(pkt)->park_addr;
+    }
+
+    std::uint32_t
+    tx_park_ticket(void *pkt) override
+    {
+        return static_cast<XPkt *>(pkt)->park_ticket;
+    }
+
+    const std::uint8_t *
+    tx_park_host(void *pkt) override
+    {
+        return static_cast<XPkt *>(pkt)->park_host;
+    }
+
+    void
+    release_parked(void *pkt, AccessSink *sink) override
+    {
+        (void)sink;
+        auto *xp = static_cast<XPkt *>(pkt);
+        if (xp->park_ticket != 0) {
+            park_.release(xp->park_ticket, /*dropped=*/true);
+            xp->park_ticket = 0;
+            xp->park_len = 0;
+        }
+    }
+
+  private:
+    PayloadPark park_;
 };
 
 } // namespace
@@ -677,6 +870,9 @@ make_datapath(MetadataModel model, NicDevice &nic, SimMemory &mem,
                                                  cfg);
       case MetadataModel::kXchange:
         return std::make_unique<XchgDatapath>(nic, mem, layout, queue, cfg);
+      case MetadataModel::kParking:
+        return std::make_unique<ParkingDatapath>(nic, mem, layout, queue,
+                                                 cfg);
     }
     panic("bad metadata model");
 }

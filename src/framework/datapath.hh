@@ -17,6 +17,12 @@
  *    exchanges data buffers at the descriptor ring; a burst-sized
  *    metadata working set stays cache-resident and the mempool is
  *    bypassed entirely.
+ *  - ParkingDatapath  (header-only hot path): X-Change plus a payload
+ *    park — the NIC splits each frame at a configurable header/payload
+ *    boundary, DMAs only the header prefix into the packet buffer, and
+ *    parks the payload in a per-core PayloadPark arena with a
+ *    DRAM-direct fill (no DDIO/LLC allocation). The pipeline runs
+ *    header-only; at TX the NIC gathers header + payload back together.
  */
 
 #ifndef PMILL_FRAMEWORK_DATAPATH_HH
@@ -32,6 +38,7 @@
 #include "src/framework/exec_context.hh"
 #include "src/framework/metadata.hh"
 #include "src/framework/packet.hh"
+#include "src/mem/payload_park.hh"
 #include "src/nic/nic_device.hh"
 
 namespace pmill {
@@ -84,6 +91,19 @@ class Datapath {
      * interning spans under @p label (e.g. "q0"). Default: nothing.
      */
     virtual void set_tracer(Tracer *, const std::string &) {}
+
+    /**
+     * Parking model: fill @p out with the queue's ticket-lifecycle
+     * counters and return true. Other models return false. The engine
+     * asserts ticket conservation (parked == rejoined + dropped, no
+     * outstanding tickets) after every run.
+     */
+    virtual bool
+    park_stats(PayloadPark::Stats *out) const
+    {
+        (void)out;
+        return false;
+    }
 };
 
 /** Sizing knobs shared by the datapath factories. */
@@ -92,6 +112,7 @@ struct DatapathConfig {
     std::uint32_t mempool_size = 16384;    ///< mbuf count (Copy/Overlay)
     std::uint32_t app_pool_size = 4096;    ///< Packet objects (Copying)
     std::uint32_t xchg_meta_slots = 64;    ///< X-Change metadata objects
+    std::uint32_t park_split_bytes = 96;   ///< Parking header/payload split
 };
 
 /**

@@ -9,6 +9,7 @@ metadata_model_name(MetadataModel m)
       case MetadataModel::kCopying: return "Copying";
       case MetadataModel::kOverlaying: return "Overlaying";
       case MetadataModel::kXchange: return "X-Change";
+      case MetadataModel::kParking: return "Parking";
     }
     return "?";
 }

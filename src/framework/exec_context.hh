@@ -13,7 +13,9 @@
 #ifndef PMILL_FRAMEWORK_EXEC_CONTEXT_HH
 #define PMILL_FRAMEWORK_EXEC_CONTEXT_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@ enum class MetadataModel : std::uint8_t {
     kCopying,     ///< FastClick default: mbuf -> Packet copy
     kOverlaying,  ///< BESS-style: cast the mbuf, annotations appended
     kXchange,     ///< PacketMill: PMD writes custom metadata directly
+    kParking,     ///< X-Change line + payload parked at RX, rejoined at TX
 };
 
 /** Human-readable model name. */
@@ -46,6 +49,11 @@ struct PipelineOpts {
     bool lto = false;            ///< link-time optimization
     bool reorder = false;        ///< metadata field reordering pass
     std::uint32_t burst = 32;    ///< RX burst size
+    /// Parking model: frames longer than this keep only the first
+    /// park_split_bytes in the data buffer; the rest is parked. The
+    /// default covers L2-L4 headers plus slack; frames at or under
+    /// the split (e.g. 64-B minimum frames) are never parked.
+    std::uint32_t park_split_bytes = 96;
     /// Hot-first element placement order for the static arena
     /// (instance names; empty = configuration order). Produced by
     /// mill::PlanSearch so the hottest elements' state packs
@@ -194,6 +202,29 @@ class ExecContext final : public AccessSink {
         else if (opts_.devirtualize)
             cyc = cost_.direct_call_cycles;
         on_compute(cyc * num_packets, 3.0 * num_packets);
+    }
+
+    /**
+     * Parking model: pull a parked payload back to the core. Parked
+     * lines were written DRAM-direct at RX, so this charges the full
+     * cache-miss cost of streaming them in — the explicit price an
+     * element pays for genuinely needing payload bytes. Copies the
+     * payload to @p dst when both pointers are given (host-side
+     * functional copy; the simulated cost is the charged loads).
+     */
+    void
+    materialize_payload(Addr park_addr, std::uint32_t park_len,
+                        const std::uint8_t *park_host, std::uint8_t *dst)
+    {
+        if (park_len == 0)
+            return;
+        for (std::uint32_t off = 0; off < park_len;
+             off += kCacheLineBytes) {
+            load(park_addr + off,
+                 std::min<std::uint32_t>(kCacheLineBytes, park_len - off));
+        }
+        if (park_host != nullptr && dst != nullptr)
+            std::memcpy(dst, park_host, park_len);
     }
 
     /**

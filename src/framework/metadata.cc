@@ -26,6 +26,7 @@ field_size(Field f)
       case Field::kPaint: return 1;
       case Field::kDstIpAnno: return 4;
       case Field::kAggregate: return 4;
+      case Field::kParkTicket: return 4;
       case Field::kCount: break;
     }
     panic("bad field");
@@ -49,6 +50,7 @@ field_name(Field f)
       case Field::kPaint: return "paint";
       case Field::kDstIpAnno: return "dst_ip_anno";
       case Field::kAggregate: return "aggregate";
+      case Field::kParkTicket: return "park_ticket";
       case Field::kCount: break;
     }
     return "?";
@@ -57,11 +59,20 @@ field_name(Field f)
 std::uint32_t
 MetadataLayout::lines_spanned(const std::vector<Field> &fields) const
 {
+    // Edge cases this must get right: an empty field list spans zero
+    // lines (not one), and a value that straddles a line boundary —
+    // or a hypothetical wide field covering three or more lines —
+    // contributes every line in [first, last], not just the two ends.
+    if (fields.empty())
+        return 0;
     std::set<std::uint32_t> lines;
     for (Field f : fields) {
         const std::uint32_t off = offset_of(f);
-        lines.insert(off / kCacheLineBytes);
-        lines.insert((off + field_size(f) - 1) / kCacheLineBytes);
+        const std::uint32_t first = off / kCacheLineBytes;
+        const std::uint32_t last =
+            (off + field_size(f) - 1) / kCacheLineBytes;
+        for (std::uint32_t line = first; line <= last; ++line)
+            lines.insert(line);
     }
     return static_cast<std::uint32_t>(lines.size());
 }
@@ -102,6 +113,7 @@ make_copying_layout()
     place(l, Field::kPaint, 136);
     place(l, Field::kDstIpAnno, 140);
     place(l, Field::kAggregate, 144);
+    place(l, Field::kParkTicket, 148);
     return l;
 }
 
@@ -129,6 +141,7 @@ make_overlay_layout()
     place(l, Field::kPaint, 140);
     place(l, Field::kDstIpAnno, 144);
     place(l, Field::kAggregate, 148);
+    place(l, Field::kParkTicket, 152);
     return l;
 }
 
@@ -153,6 +166,21 @@ make_xchg_layout()
     place(l, Field::kDstIpAnno, 45);
     place(l, Field::kAggregate, 49);
     place(l, Field::kMbufPtr, 53);  // unused by the model; kept valid
+    place(l, Field::kParkTicket, 60);  // unused; alias of kMbufPtr tail
+    return l;
+}
+
+MetadataLayout
+make_parking_layout()
+{
+    // X-Change's hot line plus the payload-park ticket. The ticket
+    // occupies bytes 60..63; that aliases the tail of the (unused)
+    // kMbufPtr slot at 53 — one-line layouts never dereference the
+    // mbuf pointer, so the overlap is deliberate and keeps the whole
+    // object inside a single cache line.
+    MetadataLayout l = make_xchg_layout();
+    l.name = "parking(header-only 64B)";
+    place(l, Field::kParkTicket, 60);
     return l;
 }
 

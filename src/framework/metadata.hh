@@ -49,6 +49,7 @@ enum class Field : std::uint8_t {
     kPaint,         ///< paint annotation (Click classic)
     kDstIpAnno,     ///< destination-IP annotation (routing result)
     kAggregate,     ///< aggregate/flow-id annotation
+    kParkTicket,    ///< payload-park arena ticket (Parking model only)
     kCount,
 };
 
@@ -95,6 +96,14 @@ MetadataLayout make_overlay_layout();
  * cache line (64 B).
  */
 MetadataLayout make_xchg_layout();
+
+/**
+ * The Parking layout: the X-Change line plus a payload-park ticket
+ * (Field::kParkTicket) at offset 60. Still one cache line (64 B); the
+ * ticket reuses bytes of the unused kMbufPtr tail (documented
+ * aliasing — one-line layouts never dereference kMbufPtr).
+ */
+MetadataLayout make_parking_layout();
 
 /**
  * Build a layout with the same total size as @p base but with fields

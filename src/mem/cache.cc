@@ -22,6 +22,8 @@ MemStats::operator-(const MemStats &o) const
     d.tlb_misses = tlb_misses - o.tlb_misses;
     d.prefetches = prefetches - o.prefetches;
     d.numa_remote_fills = numa_remote_fills - o.numa_remote_fills;
+    d.park_fills = park_fills - o.park_fills;
+    d.park_gathers = park_gathers - o.park_gathers;
     return d;
 }
 
@@ -499,6 +501,33 @@ CacheHierarchy::device_line(std::uint64_t line, AccessType type)
         } else {
             r.level = HitLevel::kDram;
             ++stats_.dev_reads_dram;
+        }
+        return r;
+      }
+
+      case AccessType::kParkWrite: {
+        ++stats_.park_fills;
+        // Parking a payload at RX goes straight to DRAM — unlike a
+        // DDIO DevWrite it allocates nothing in the LLC, which is the
+        // whole point: parked lines never evict the NF's working set.
+        // Stale core copies (a recycled buffer's previous payload)
+        // are invalidated like any device write.
+        l1_.invalidate(line);
+        l2_.invalidate(line);
+        llc_.invalidate(line);
+        r.level = HitLevel::kDram;
+        return r;
+      }
+
+      case AccessType::kParkRead: {
+        ++stats_.park_gathers;
+        // TX DMA gather from the park arena. Normally DRAM (park
+        // writes bypass the caches); LLC only if a core explicitly
+        // materialized the payload in between. No allocation.
+        if (llc_.lookup(line)) {
+            r.level = HitLevel::kLlc;
+        } else {
+            r.level = HitLevel::kDram;
         }
         return r;
       }

@@ -49,6 +49,12 @@ enum class AccessType : std::uint8_t {
     kPrefetch,  ///< Software prefetch (rte_prefetch): fills L1/L2
                 ///< ahead of use, hidden by the pipeline (no latency,
                 ///< not a perf-visible demand load).
+    kParkWrite, ///< Payload park at RX: DRAM-direct (bypasses the
+                ///< DDIO ways — parked lines never pollute the LLC);
+                ///< stale core copies invalidated.
+    kParkRead,  ///< TX gather from the park arena: LLC if a line is
+                ///< somehow resident (a core materialized it), else
+                ///< DRAM. No allocation.
 };
 
 /** Geometry and latency parameters of the modeled hierarchy. */
@@ -122,6 +128,8 @@ struct MemStats {
     std::uint64_t tlb_misses = 0;
     std::uint64_t prefetches = 0;
     std::uint64_t numa_remote_fills = 0;  ///< DRAM fills off-socket
+    std::uint64_t park_fills = 0;    ///< payload lines parked at RX
+    std::uint64_t park_gathers = 0;  ///< payload lines gathered at TX
 
     /** LLC loads (the perf "LLC-loads" event). */
     std::uint64_t llc_loads() const { return l2_load_misses; }

@@ -19,6 +19,7 @@ region_name(Region r)
       case Region::kDeviceRing: return "device-ring";
       case Region::kTable: return "table";
       case Region::kScratch: return "scratch";
+      case Region::kPayloadPark: return "payload-park";
     }
     return "unknown";
 }

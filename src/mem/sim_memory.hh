@@ -39,6 +39,7 @@ enum class Region : std::uint8_t {
     kDeviceRing,    ///< NIC descriptor / completion rings.
     kTable,         ///< Lookup tables (LPM, cuckoo hash).
     kScratch,       ///< Synthetic working sets (WorkPackage).
+    kPayloadPark,   ///< Parked-payload arena (Parking model).
 };
 
 /** Human-readable region name. */
@@ -131,7 +132,7 @@ class SimMemory {
     };
 
     std::vector<Alloc> allocs_;  // sorted by base
-    std::uint64_t region_bytes_[8] = {};
+    std::uint64_t region_bytes_[9] = {};
     std::uint64_t total_ = 0;
     Addr next_;
     Xorshift64 scatter_rng_;

@@ -91,9 +91,14 @@ reorder_packet_layout(const MetadataLayout &base, const FieldUsage &usage)
     l.total_bytes = base.total_bytes;
 
     // Pass 1: scalar members, hot first, naturally aligned.
+    // kParkTicket is parking-only (never referenced under Copying,
+    // the only model the reorder applies to) and keeps its base
+    // offset so pre-parking layouts are reproduced byte-identically.
     std::uint32_t off = 0;
+    l.offset[static_cast<std::size_t>(Field::kParkTicket)] =
+        base.offset[static_cast<std::size_t>(Field::kParkTicket)];
     for (Field f : order) {
-        if (in_anno_area(f))
+        if (in_anno_area(f) || f == Field::kParkTicket)
             continue;
         const std::uint32_t sz = field_size(f);
         off = static_cast<std::uint32_t>(round_up(off, std::min(sz, 8u)));

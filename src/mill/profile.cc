@@ -408,6 +408,8 @@ Plan::apply_to_opts(PipelineOpts base) const
         base.model = MetadataModel::kOverlaying;
     else if (model == metadata_model_name(MetadataModel::kCopying))
         base.model = MetadataModel::kCopying;
+    else if (model == metadata_model_name(MetadataModel::kParking))
+        base.model = MetadataModel::kParking;
     if (!state_order.empty())
         base.state_order = state_order;
     return base;
@@ -492,6 +494,28 @@ PlanSearch::search(const Profile &profile, const PipelineOpts &base)
                 "model %s -> %s (stall share %.0f%%)",
                 metadata_model_name(base.model), plan.model.c_str(),
                 profile.stall_share * 100.0));
+    }
+
+    // 3b. Payload parking: an X-Change profile that still stalls on
+    //     memory while moving large frames is bottlenecked on payload
+    //     cache lines the pipeline never reads — park them. Gated on
+    //     the measured mean frame size clearing the header split by a
+    //     wide margin, so small-frame workloads (where nothing would
+    //     be parked) are left alone.
+    if (base.model == MetadataModel::kXchange && profile.mpps > 0) {
+        const double mean_frame_bytes =
+            profile.throughput_gbps * 125.0 / profile.mpps;
+        if (profile.stall_share > 0.25 &&
+            mean_frame_bytes >= 2.0 * base.park_split_bytes) {
+            plan.model = metadata_model_name(MetadataModel::kParking);
+            plan.rationale.push_back(strprintf(
+                "model %s -> %s (stall share %.0f%%, mean frame %.0f B "
+                ">= 2x %u B split: payload lines dominate the miss "
+                "traffic)",
+                metadata_model_name(base.model), plan.model.c_str(),
+                profile.stall_share * 100.0, mean_frame_bytes,
+                base.park_split_bytes));
+        }
     }
 
     // 4. Static-arena placement: hot elements first so their state

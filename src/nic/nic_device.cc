@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/log.hh"
+#include "src/mem/payload_park.hh"
 #include "src/net/packet_builder.hh"
 #include "src/telemetry/metrics.hh"
 #include "src/tracing/tracer.hh"
@@ -27,6 +28,8 @@ NicDevice::NicDevice(const NicConfig &cfg, CacheHierarchy &caches,
         rss_loads_.assign(cfg.rss_table_size, 0);
     }
     queue_caches_.assign(cfg.num_queues, &caches);
+    queue_parks_.assign(cfg.num_queues, nullptr);
+    park_splits_.assign(cfg.num_queues, 0);
     queues_.reserve(cfg.num_queues);
     for (std::uint32_t q = 0; q < cfg.num_queues; ++q) {
         queues_.emplace_back(cfg.rx_ring_size, cfg.tx_ring_size);
@@ -45,6 +48,17 @@ NicDevice::bind_queue_cache(std::uint32_t queue, CacheHierarchy *caches)
 {
     PMILL_ASSERT(queue < queue_caches_.size(), "bad queue");
     queue_caches_[queue] = caches;
+}
+
+void
+NicDevice::bind_queue_park(std::uint32_t queue, PayloadPark *park,
+                           std::uint32_t split_bytes)
+{
+    PMILL_ASSERT(queue < queue_parks_.size(), "bad queue");
+    PMILL_ASSERT(park == nullptr || split_bytes > 0,
+                 "park dock needs a nonzero split point");
+    queue_parks_[queue] = park;
+    park_splits_[queue] = park == nullptr ? 0 : split_bytes;
 }
 
 std::uint32_t
@@ -123,20 +137,37 @@ NicDevice::deliver_impl(std::uint32_t qi, const std::uint8_t *frame,
     const TimeNs dma_done = std::max(now, *pcie_free) + pcie_ns;
     *pcie_free = dma_done;
 
-    // Device writes: frame payload into the posted buffer, then the
-    // CQE. Both land in the LLC DDIO ways.
-    std::memcpy(desc.buf_host, frame, len);
-    qcache.access(desc.buf_addr, len, AccessType::kDevWrite);
-
+    // Device writes: frame data into the posted buffer, then the CQE.
+    // Both land in the LLC DDIO ways — except when a park dock is
+    // bound: then only the header prefix is DMA'd into the buffer
+    // (DDIO) and the payload is parked DRAM-direct, so large-packet
+    // payloads never occupy LLC ways. The PCIe charge above already
+    // covered the full frame either way.
+    PayloadPark *park = queue_parks_[qi];
+    std::uint32_t hdr_len = len;
     Cqe cqe;
+    if (park != nullptr && len > park_splits_[qi]) {
+        hdr_len = park_splits_[qi];
+        cqe.park_len = len - hdr_len;
+        cqe.park_ticket = park->park(frame + hdr_len, cqe.park_len);
+        qcache.access(park->slot_addr(cqe.park_ticket), cqe.park_len,
+                      AccessType::kParkWrite);
+    }
+    std::memcpy(desc.buf_host, frame, hdr_len);
+    qcache.access(desc.buf_addr, hdr_len, AccessType::kDevWrite);
+
     cqe.buf_addr = desc.buf_addr;
     cqe.buf_host = desc.buf_host;
     cqe.len = len;
     cqe.arrival_ns = dma_done;
-    FrameView view = parse_frame(desc.buf_host, len);
+    // Parse from the wire frame (read-only): identical bytes to the
+    // buffer on the non-parked path, and the only complete view on
+    // the parked one.
+    FrameView view =
+        parse_frame(const_cast<std::uint8_t *>(frame), len);
     if (view.ip) {
         cqe.flags |= 1;
-        FiveTuple t = extract_tuple(desc.buf_host, len);
+        FiveTuple t = extract_tuple(frame, len);
         cqe.rss_hash = rss_hash(t);
     }
     if (view.vlan)
@@ -279,19 +310,31 @@ NicDevice::deliver_handoff(std::uint32_t queue, const std::uint8_t *frame,
 
     // ...and lands the frame + CQE in the destination core's DDIO
     // ways, but skips the wire and the PCIe RX pipe: the frame
-    // crossed both when it first arrived on the source queue.
-    std::memcpy(desc.buf_host, frame, len);
-    qcache.access(desc.buf_addr, len, AccessType::kDevWrite);
-
+    // crossed both when it first arrived on the source queue. A park
+    // dock on the destination queue re-parks the payload there (the
+    // source released its own ticket when it staged the handoff).
+    PayloadPark *park = queue_parks_[queue];
+    std::uint32_t hdr_len = len;
     Cqe cqe;
+    if (park != nullptr && len > park_splits_[queue]) {
+        hdr_len = park_splits_[queue];
+        cqe.park_len = len - hdr_len;
+        cqe.park_ticket = park->park(frame + hdr_len, cqe.park_len);
+        qcache.access(park->slot_addr(cqe.park_ticket), cqe.park_len,
+                      AccessType::kParkWrite);
+    }
+    std::memcpy(desc.buf_host, frame, hdr_len);
+    qcache.access(desc.buf_addr, hdr_len, AccessType::kDevWrite);
+
     cqe.buf_addr = desc.buf_addr;
     cqe.buf_host = desc.buf_host;
     cqe.len = len;
     cqe.arrival_ns = orig_arrival_ns;
-    FrameView view = parse_frame(desc.buf_host, len);
+    FrameView view =
+        parse_frame(const_cast<std::uint8_t *>(frame), len);
     if (view.ip) {
         cqe.flags |= 1;
-        FiveTuple t = extract_tuple(desc.buf_host, len);
+        FiveTuple t = extract_tuple(frame, len);
         cqe.rss_hash = rss_hash(t);
     }
     if (view.vlan)
@@ -358,7 +401,13 @@ NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out,
             if (!defer_dma) {
                 CacheHierarchy &qc = *queue_caches_[qi];
                 qc.access(desc_addr, kDescBytes, AccessType::kDevRead);
-                qc.access(head.buf_addr, head.len, AccessType::kDevRead);
+                // Parking model: gather — header bytes from the
+                // buffer, payload bytes from the park arena.
+                qc.access(head.buf_addr, head.len - head.park_len,
+                          AccessType::kDevRead);
+                if (head.park_len != 0)
+                    qc.access(head.park_addr, head.park_len,
+                              AccessType::kParkRead);
             }
 
             TxCompletion c;
@@ -369,6 +418,10 @@ NicDevice::drain_tx(TimeNs now, std::vector<TxCompletion> &out,
             c.departure_ns = departure;
             c.queue = qi;
             c.desc_addr = desc_addr;
+            c.park_addr = head.park_addr;
+            c.park_len = head.park_len;
+            c.park_ticket = head.park_ticket;
+            c.park_host = head.park_host;
             out.push_back(c);
 
             pcie_tx_free_ = dma_done;

@@ -34,6 +34,7 @@
 namespace pmill {
 
 class MetricsRegistry;
+class PayloadPark;
 class Tracer;
 
 /** Wire-level framing overhead: preamble(8) + IFG(12) + FCS(4). */
@@ -50,6 +51,13 @@ struct Cqe {
     TimeNs arrival_ns = 0;      ///< wire arrival completion time
     Addr cqe_addr = 0;          ///< sim address of this CQE slot (for
                                 ///< the PMD's own load accounting)
+    /// @name Parking model (queue has a park dock bound): the buffer
+    /// holds only the first len - park_len header bytes; the payload
+    /// sits in the park arena under park_ticket. 0/0 otherwise.
+    /// @{
+    std::uint32_t park_ticket = 0;
+    std::uint32_t park_len = 0;
+    /// @}
 };
 
 /** Accounted size of one CQE (one cache line). */
@@ -68,6 +76,14 @@ struct TxDescriptor {
     std::uint32_t len = 0;
     TimeNs arrival_ns = 0;  ///< original wire arrival (for latency)
     TimeNs post_ns = 0;     ///< when the core posted the descriptor
+    /// Parking model: TX gathers len - park_len buffer bytes plus
+    /// park_len payload bytes from park_addr (0/0/0 otherwise).
+    /// park_host is the payload's host backing — the buffer holds
+    /// only the header, so frame-byte consumers gather through it.
+    Addr park_addr = 0;
+    std::uint32_t park_len = 0;
+    std::uint32_t park_ticket = 0;
+    const std::uint8_t *park_host = nullptr;
 };
 
 /** Completion of a transmitted frame (buffer ownership returns). */
@@ -83,6 +99,15 @@ struct TxCompletion {
     /// and frame reads on the owning core's hierarchy later (epoch
     /// scheduler: the reads move to the core's worker thread).
     Addr desc_addr = 0;
+    /// Parking model: the gather this completion's DMA performed (or,
+    /// deferred, the one the caller must replay) — len - park_len
+    /// buffer bytes as DevRead plus park_len bytes from park_addr as
+    /// ParkRead. park_ticket lets the datapath release the slot;
+    /// park_host lets TX capture assemble the full frame host-side.
+    Addr park_addr = 0;
+    std::uint32_t park_len = 0;
+    std::uint32_t park_ticket = 0;
+    const std::uint8_t *park_host = nullptr;
 };
 
 /** Static NIC parameters. */
@@ -135,6 +160,16 @@ class NicDevice {
      * approximation).
      */
     void bind_queue_cache(std::uint32_t queue, CacheHierarchy *caches);
+
+    /**
+     * Install a park dock on @p queue (Parking model): deliver()
+     * writes only the first @p split_bytes of each longer frame into
+     * the posted buffer and parks the remainder in @p park
+     * (DRAM-direct, AccessType::kParkWrite); drain_tx() gathers it
+     * back (kParkRead). nullptr unbinds.
+     */
+    void bind_queue_park(std::uint32_t queue, PayloadPark *park,
+                         std::uint32_t split_bytes);
 
     const NicConfig &config() const { return cfg_; }
     /**
@@ -385,6 +420,9 @@ class NicDevice {
     NicConfig cfg_;
     CacheHierarchy &caches_;
     std::vector<CacheHierarchy *> queue_caches_;
+    /// Per-queue park docks (Parking model; null = no parking).
+    std::vector<PayloadPark *> queue_parks_;
+    std::vector<std::uint32_t> park_splits_;
     std::vector<Queue> queues_;
     NicStats stats_;
     /// RSS indirection table + per-bucket arrival counters (empty =

@@ -49,6 +49,8 @@ mem_stats_add(MemStats &into, const MemStats &s)
     into.tlb_misses += s.tlb_misses;
     into.prefetches += s.prefetches;
     into.numa_remote_fills += s.numa_remote_fills;
+    into.park_fills += s.park_fills;
+    into.park_gathers += s.park_gathers;
 }
 
 void
@@ -191,6 +193,7 @@ Engine::init(const std::string &config_text)
 
     DatapathConfig dcfg;
     dcfg.burst = opts.burst;
+    dcfg.park_split_bytes = opts.park_split_bytes;
 
     // Datapaths (and their mempools) are per (core, NIC) and homed on
     // the polling core's socket — the "per-socket mempools" half of
@@ -530,6 +533,49 @@ Engine::register_telemetry()
                 v += static_cast<double>(
                     core->caches->stats().numa_remote_fills);
             return v;
+        });
+    }
+
+    // Parking-model counters — gated on the model so every other
+    // model's timeline keeps its exact column set.
+    if (opts_.model == MetadataModel::kParking) {
+        metrics_.add_probe_counter("park_fills", [this] {
+            double v = 0;
+            for (const auto &core : cores_)
+                v += static_cast<double>(core->caches->stats().park_fills);
+            return v;
+        });
+        metrics_.add_probe_counter("park_gathers", [this] {
+            double v = 0;
+            for (const auto &core : cores_)
+                v += static_cast<double>(core->caches->stats().park_gathers);
+            return v;
+        });
+        auto sum_park = [this](auto field) {
+            double v = 0;
+            for (const auto &core : cores_)
+                for (const auto &bq : core->dps) {
+                    PayloadPark::Stats st;
+                    if (bq.dp->park_stats(&st))
+                        v += static_cast<double>(field(st));
+                }
+            return v;
+        };
+        metrics_.add_probe_counter("park_parked", [sum_park] {
+            return sum_park(
+                [](const PayloadPark::Stats &s) { return s.parked; });
+        });
+        metrics_.add_probe_counter("park_rejoined", [sum_park] {
+            return sum_park(
+                [](const PayloadPark::Stats &s) { return s.rejoined; });
+        });
+        metrics_.add_probe_counter("park_dropped", [sum_park] {
+            return sum_park(
+                [](const PayloadPark::Stats &s) { return s.dropped; });
+        });
+        metrics_.add_gauge("park_outstanding", [sum_park] {
+            return sum_park(
+                [](const PayloadPark::Stats &s) { return s.outstanding; });
         });
     }
 }
@@ -954,6 +1000,11 @@ Engine::drain_all_tx(TimeNs now)
         std::uint64_t wire_bits = 0;
         std::uint64_t frame_bits = 0;
         for (const TxCompletion &c : tx_scratch_) {
+            // Capture before on_tx_complete: the completion releases
+            // the park ticket, and the capture gather must read the
+            // slot while the ticket still owns it.
+            if (measuring_ && tx_capture_)
+                capture_tx(c);
             queue_dp_[n][c.queue]->on_tx_complete(c);
             if (PMILL_UNLIKELY(tron) && !inflight_.empty()) {
                 auto it = inflight_.find(arrival_key(c.arrival_ns));
@@ -969,8 +1020,6 @@ Engine::drain_all_tx(TimeNs now)
             if (measuring_) {
                 frame_bits += c.len * 8ull;
                 latency_->record((c.departure_ns - c.arrival_ns) / 1000.0);
-                if (tx_capture_)
-                    tx_capture_(c.buf_host, c.len);
             }
         }
         m_tx_pkts_.add(pkts);
@@ -981,6 +1030,19 @@ Engine::drain_all_tx(TimeNs now)
             tx_frame_bits_ += frame_bits;
         }
     }
+}
+
+void
+Engine::capture_tx(const TxCompletion &c)
+{
+    if (c.park_len == 0) {
+        tx_capture_(c.buf_host, c.len);
+        return;
+    }
+    const std::uint32_t hdr = c.len - c.park_len;
+    std::memcpy(cap_buf_.data(), c.buf_host, hdr);
+    std::memcpy(cap_buf_.data() + hdr, c.park_host, c.park_len);
+    tx_capture_(cap_buf_.data(), c.len);
 }
 
 void
@@ -1181,6 +1243,30 @@ Engine::finish_run(const std::vector<ExecCounters> &exec_base,
     }
     r.rx_drops = drops - drops_base;
 
+    // Parking-model ticket conservation, checked after every run:
+    // each queue's PayloadPark::stats() hard-asserts that the
+    // lifecycle counters match the free list (leak detection), and
+    // every issued ticket must be accounted as rejoined, dropped, or
+    // still attached to a frame legitimately in flight at the end
+    // edge (RX rings / handoff rings / TX rings).
+    for (const auto &core : cores_) {
+        for (const auto &bq : core->dps) {
+            PayloadPark::Stats st;
+            if (!bq.dp->park_stats(&st))
+                continue;
+            PMILL_ASSERT(st.parked ==
+                             st.rejoined + st.dropped + st.outstanding,
+                         "park ticket conservation violated on nic%u q%u: "
+                         "parked=%llu rejoined=%llu dropped=%llu "
+                         "outstanding=%u",
+                         bq.nic, bq.queue,
+                         static_cast<unsigned long long>(st.parked),
+                         static_cast<unsigned long long>(st.rejoined),
+                         static_cast<unsigned long long>(st.dropped),
+                         st.outstanding);
+        }
+    }
+
     // Cycle-accounting conservation: the bucket sum must equal the
     // ledger total bit-exactly (integer construction), and the ledger
     // total must match the core-clock advance up to floating-point
@@ -1365,7 +1451,13 @@ Engine::run_epoch(const RunConfig &rc)
             const TxCompletion &c = p.c;
             qc.access(c.desc_addr, NicDevice::kDescBytes,
                       AccessType::kDevRead);
-            qc.access(c.buf_addr, c.len, AccessType::kDevRead);
+            // Parking: the buffer holds only the header prefix; the
+            // payload is gathered from the park arena (same split as
+            // NicDevice::drain_tx's immediate-DMA path, so every
+            // thread count sees the identical access sequence).
+            qc.access(c.buf_addr, c.len - c.park_len, AccessType::kDevRead);
+            if (c.park_len != 0)
+                qc.access(c.park_addr, c.park_len, AccessType::kParkRead);
             queue_dp_[p.nic][c.queue]->on_tx_complete(c);
         }
         fx.clear();
@@ -1501,8 +1593,11 @@ Engine::run_epoch(const RunConfig &rc)
                     frame_bits += c.len * 8ull;
                     latency_->record((c.departure_ns - c.arrival_ns) /
                                      1000.0);
+                    // Ticket release happens later, at the owning
+                    // core's apply_tx_effects, so the park slot is
+                    // still held here.
                     if (tx_capture_)
-                        tx_capture_(c.buf_host, c.len);
+                        capture_tx(c);
                 }
             }
             m_tx_pkts_.add(pkts);

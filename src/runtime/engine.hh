@@ -501,6 +501,12 @@ class Engine : public Actuator {
 
     std::unique_ptr<Histogram> latency_;
     std::function<void(const std::uint8_t *, std::uint32_t)> tx_capture_;
+    /// Hand @p c 's frame bytes to tx_capture_. A parked completion's
+    /// buffer holds only the header, so the frame is gathered
+    /// (buffer, park slot) into cap_buf_ first — host-side only, the
+    /// simulated cost is the NIC's kParkRead gather.
+    void capture_tx(const TxCompletion &c);
+    std::array<std::uint8_t, kMaxFrameLen> cap_buf_{};
     bool measuring_ = false;
     std::uint64_t tx_pkts_ = 0;
     std::uint64_t tx_wire_bits_ = 0;

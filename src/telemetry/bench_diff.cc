@@ -84,6 +84,15 @@ classify_column(const std::string &column)
     // eq_-prefixed variants still gate exactly above.
     if (has_token(toks, {"steer", "numa"}))
         return ColumnClass::kInformational;
+    // Payload-park plumbing counters ("park_fills", "park_gathers"):
+    // absolute volumes fixed by the split point and traffic mix, not
+    // quality signals. Checked before the latency tokens so a
+    // park_*_miss breakdown never gates twice; the eq_park_* variants
+    // still gate exactly above, and "Parking" (the model-named
+    // throughput column) is a different token that gates higher-better
+    // below.
+    if (has_token(toks, {"park"}))
+        return ColumnClass::kInformational;
     if (has_token(toks, {"latency", "p50", "p99", "p999", "us", "ns",
                          "miss", "misses", "drop", "drops", "cycles",
                          "cpp", "stall", "stalls"}))
@@ -93,7 +102,7 @@ classify_column(const std::string &column)
                          // Model-comparison tables (fig04/fig05) name
                          // throughput columns after the metadata model.
                          "copying", "overlaying", "xchange", "x",
-                         "vanilla", "packetmill"}))
+                         "parking", "vanilla", "packetmill"}))
         return ColumnClass::kHigherBetter;
     return ColumnClass::kInformational;
 }

@@ -155,6 +155,29 @@ TEST(BenchDiffClassify, SteerAndNumaColumnsAreInformational)
               ColumnClass::kExact);
 }
 
+TEST(BenchDiffClassify, ParkColumns)
+{
+    // Payload-park plumbing volumes are fixed by the split point and
+    // traffic mix, not quality signals — informational even though
+    // "fills"/"gathers" sit next to miss-like tokens.
+    EXPECT_EQ(classify_column("park_fills"), ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("park_gathers"),
+              ColumnClass::kInformational);
+    EXPECT_EQ(classify_column("park_dropped"),
+              ColumnClass::kInformational);
+
+    // The eq token still wins: the payload_parking bench's gated
+    // columns hard-gate bit-for-bit.
+    EXPECT_EQ(classify_column("eq_park_frames"), ColumnClass::kExact);
+    EXPECT_EQ(classify_column("eq_park_llc_miss"), ColumnClass::kExact);
+
+    // "Parking" as a model-named throughput column (fig05a's fourth
+    // model) gates higher-better like its siblings.
+    EXPECT_EQ(classify_column("Parking"), ColumnClass::kHigherBetter);
+    EXPECT_EQ(classify_column("Parking(Gbps)"),
+              ColumnClass::kHigherBetter);
+}
+
 TEST(BenchDiffClassify, HostParallelColumns)
 {
     // The host_parallel bench reports wall-clock scaling next to

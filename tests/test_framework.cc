@@ -153,11 +153,19 @@ TEST(ElementConfigure, RejectsBadArgs)
 TEST(MetadataLayout, AllFieldsHaveDistinctOffsets)
 {
     for (const MetadataLayout &l :
-         {make_copying_layout(), make_overlay_layout(), make_xchg_layout()}) {
+         {make_copying_layout(), make_overlay_layout(), make_xchg_layout(),
+          make_parking_layout()}) {
         for (std::size_t i = 0; i < kNumFields; ++i) {
             for (std::size_t j = i + 1; j < kNumFields; ++j) {
                 const Field a = static_cast<Field>(i);
                 const Field b = static_cast<Field>(j);
+                // One-line layouts deliberately alias the park ticket
+                // onto the tail of the never-dereferenced kMbufPtr
+                // slot to stay within a single cache line
+                // (make_xchg_layout).
+                if (l.total_bytes == 64 && a == Field::kMbufPtr &&
+                    b == Field::kParkTicket)
+                    continue;
                 const std::uint32_t a0 = l.offset_of(a);
                 const std::uint32_t a1 = a0 + field_size(a);
                 const std::uint32_t b0 = l.offset_of(b);
@@ -189,10 +197,66 @@ TEST(MetadataLayout, CopyingSpansThreeLines)
     EXPECT_EQ(l.lines_spanned(all), 3u);
 }
 
+TEST(MetadataLayout, FactoriesPlaceEveryFieldWithinBounds)
+{
+    std::vector<Field> all;
+    for (std::size_t i = 0; i < kNumFields; ++i)
+        all.push_back(static_cast<Field>(i));
+    for (const MetadataLayout &l :
+         {make_copying_layout(), make_overlay_layout(), make_xchg_layout(),
+          make_parking_layout()}) {
+        EXPECT_FALSE(l.name.empty());
+        EXPECT_GT(l.total_bytes, 0u) << l.name;
+        for (Field f : all)
+            EXPECT_LE(l.offset_of(f) + field_size(f), l.total_bytes)
+                << l.name << ": " << field_name(f)
+                << " extends past the object";
+    }
+}
+
+TEST(MetadataLayout, ParkingIsXchgPlusTicket)
+{
+    const MetadataLayout x = make_xchg_layout();
+    const MetadataLayout p = make_parking_layout();
+    EXPECT_EQ(p.total_bytes, 64u);
+    for (std::size_t i = 0; i < kNumFields; ++i) {
+        const Field f = static_cast<Field>(i);
+        if (f == Field::kParkTicket)
+            continue;
+        EXPECT_EQ(p.offset_of(f), x.offset_of(f)) << field_name(f);
+    }
+    EXPECT_EQ(p.offset_of(Field::kParkTicket), 60u);
+    std::vector<Field> all;
+    for (std::size_t i = 0; i < kNumFields; ++i)
+        all.push_back(static_cast<Field>(i));
+    EXPECT_EQ(p.lines_spanned(all), 1u);
+}
+
+TEST(MetadataLayout, LinesSpannedEdgeCases)
+{
+    const MetadataLayout l = make_copying_layout();
+    // An empty field list spans zero lines, not one.
+    EXPECT_EQ(l.lines_spanned({}), 0u);
+    // A value straddling a line boundary contributes both lines:
+    // relocate the 8-byte timestamp across the line-0/line-1 edge.
+    MetadataLayout s = l;
+    s.offset[static_cast<std::size_t>(Field::kTimestamp)] = 60;
+    EXPECT_EQ(s.lines_spanned({Field::kTimestamp}), 2u);
+    // Repeats and same-line neighbours count each line once.
+    EXPECT_EQ(s.lines_spanned({Field::kTimestamp, Field::kTimestamp}),
+              2u);
+    EXPECT_EQ(l.lines_spanned({Field::kMbufPtr, Field::kNextPtr}), 1u);
+    // A value ending exactly at a line boundary stays on one line.
+    MetadataLayout e = l;
+    e.offset[static_cast<std::size_t>(Field::kTimestamp)] = 56;
+    EXPECT_EQ(e.lines_spanned({Field::kTimestamp}), 1u);
+}
+
 TEST(PacketView, RoundTripsValuesThroughAnyLayout)
 {
     for (const MetadataLayout &l :
-         {make_copying_layout(), make_overlay_layout(), make_xchg_layout()}) {
+         {make_copying_layout(), make_overlay_layout(), make_xchg_layout(),
+          make_parking_layout()}) {
         std::uint8_t backing[192] = {};
         PacketHandle h;
         h.meta_host = backing;
@@ -202,7 +266,9 @@ TEST(PacketView, RoundTripsValuesThroughAnyLayout)
         v.write(Field::kVlanTci, 99);
         v.write(Field::kDataAddr, 0xDEADBEEFCAFEull);
         v.write_time(Field::kTimestamp, 3.5);
+        v.write(Field::kParkTicket, 77);
         EXPECT_EQ(v.read(Field::kLen), 1234u) << l.name;
+        EXPECT_EQ(v.read(Field::kParkTicket), 77u) << l.name;
         EXPECT_EQ(v.read(Field::kVlanTci), 99u) << l.name;
         EXPECT_EQ(v.read(Field::kDataAddr), 0xDEADBEEFCAFEull) << l.name;
         EXPECT_DOUBLE_EQ(v.read_time(Field::kTimestamp), 3.5) << l.name;

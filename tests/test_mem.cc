@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "src/mem/cache.hh"
+#include "src/mem/payload_park.hh"
 #include "src/mem/sim_memory.hh"
 
 namespace pmill {
@@ -272,6 +273,58 @@ INSTANTIATE_TEST_SUITE_P(WorkingSets, CacheWorkingSet,
                                            8 * 1024 * 1024,  // fits LLC
                                            48 * 1024 * 1024  // exceeds LLC
                                            ));
+
+TEST(PayloadPark, TicketLifecycleAndLifoReuse)
+{
+    SimMemory mem;
+    PayloadPark park(mem, 4, 2048);
+    std::uint8_t pay[256];
+    std::memset(pay, 0x5A, sizeof pay);
+
+    const std::uint32_t t1 = park.park(pay, 256);
+    const std::uint32_t t2 = park.park(pay, 128);
+    EXPECT_NE(t1, t2);
+    EXPECT_NE(park.slot_addr(t1), park.slot_addr(t2));
+    EXPECT_EQ(std::memcmp(park.slot_host(t1), pay, 256), 0);
+
+    PayloadPark::Stats st = park.stats();
+    EXPECT_EQ(st.parked, 2u);
+    EXPECT_EQ(st.outstanding, 2u);
+    EXPECT_EQ(st.capacity, 4u);
+
+    park.release(t1, /*dropped=*/false);
+    park.release(t2, /*dropped=*/true);
+    st = park.stats();
+    EXPECT_EQ(st.rejoined, 1u);
+    EXPECT_EQ(st.dropped, 1u);
+    EXPECT_EQ(st.outstanding, 0u);
+    EXPECT_EQ(st.parked, st.rejoined + st.dropped + st.outstanding);
+
+    // LIFO free list: the most recently released ticket is reissued
+    // first, so simulated slot addresses are a pure function of the
+    // park/release sequence (determinism across thread counts).
+    EXPECT_EQ(park.park(pay, 64), t2);
+}
+
+TEST(PayloadPark, DoubleFreeDies)
+{
+    SimMemory mem;
+    PayloadPark park(mem, 2, 2048);
+    std::uint8_t pay[64] = {};
+    const std::uint32_t t = park.park(pay, 64);
+    park.release(t, false);
+    EXPECT_DEATH(park.release(t, false), "double-free");
+}
+
+TEST(PayloadPark, ExhaustionAndOversizeDie)
+{
+    SimMemory mem;
+    PayloadPark park(mem, 1, 128);
+    std::uint8_t pay[256] = {};
+    EXPECT_DEATH(park.park(pay, 256), "exceeds park slot");
+    (void)park.park(pay, 128);
+    EXPECT_DEATH(park.park(pay, 64), "exhausted");
+}
 
 } // namespace
 } // namespace pmill

@@ -80,6 +80,12 @@ TEST(MillReorder, AnnotationAreaMovesAsAUnit)
     std::uint32_t min_anno = ~0u;
     for (std::size_t i = 0; i < kNumFields; ++i) {
         const Field f = static_cast<Field>(i);
+        // The park ticket is parking-only (never referenced under
+        // Copying) and stays pinned at its base offset so pre-parking
+        // layouts are reproduced byte-identically; it is exempt from
+        // the scalars-before-annotations invariant.
+        if (f == Field::kParkTicket)
+            continue;
         const bool anno = f == Field::kTimestamp || f == Field::kPaint ||
                           f == Field::kDstIpAnno || f == Field::kAggregate;
         if (anno)

@@ -274,6 +274,78 @@ TEST(Parallel, MultiNicGridThreadInvariant)
     expect_bitexact(t1, t4);
 }
 
+// The parking model threads one more piece of shared-looking state
+// through the epoch scheduler — the per-queue parked-payload arena —
+// and its LIFO ticket allocation is part of the simulated address
+// stream. A hostile million-flow run that parks every payload must
+// stay bit-identical for every worker count.
+Snap
+run_parking_flows(std::uint32_t threads, const std::string &config,
+                  const RunConfig &rc_in, bool reprogram = false)
+{
+    WorkloadSpec spec;
+    std::string err;
+    EXPECT_TRUE(spec.parse("uniform:flows=1000000,len=700,seed=5", &err))
+        << err;
+    MachineConfig m;
+    m.num_cores = 8;
+    Engine engine(m, config, opts_model(MetadataModel::kParking), spec);
+    PacketMill::grind(engine);
+    if (reprogram) {
+        // Desynchronize the steering fabric from the NIC's modulo
+        // mapping so roughly half the buckets hand off.
+        const std::uint32_t tsize = engine.rss_table_size();
+        EXPECT_GT(tsize, 0u);
+        for (std::uint32_t i = 0; i < tsize; i += 2)
+            engine.set_rss_table_entry(i, (engine.rss_table_entry(i) + 3) %
+                                              engine.num_cores());
+    }
+    RunConfig rc = rc_in;
+    rc.offered_gbps = 24.0;
+    rc.host_threads = threads;
+    return snapshot(engine, rc);
+}
+
+TEST(Parallel, ParkingMillionFlowThreadInvariant)
+{
+    const RunConfig rc = base_rc(1, 1.0);
+    const Snap t1 = run_parking_flows(1, router_config(), rc);
+    const Snap t2 = run_parking_flows(2, router_config(), rc);
+    const Snap t4 = run_parking_flows(4, router_config(), rc);
+    const Snap t8 = run_parking_flows(8, router_config(), rc);
+    EXPECT_GT(t1.r.tx_pkts, 0u);
+    EXPECT_GT(t1.r.mem.park_fills, 0u);
+    expect_bitexact(t1, t2);
+    expect_bitexact(t1, t4);
+    expect_bitexact(t1, t8);
+}
+
+// Steered variant: FlowSteer hands frames between cores, which for
+// parking means a gather out of the source arena, a drop-path ticket
+// release, and a re-park on the destination — all inside the epoch
+// scheduler's effect-replay machinery. The timeline's park_* columns
+// make the drop-path release observable (handoffs count as drops on
+// the source queue's arena).
+TEST(Steering, ParkingSteeredThreadInvariant)
+{
+    const RunConfig rc = base_rc(1, 1.0);
+    const Snap t1 = run_parking_flows(1, steered_router_config(), rc, true);
+    const Snap t4 = run_parking_flows(4, steered_router_config(), rc, true);
+    const Snap t8 = run_parking_flows(8, steered_router_config(), rc, true);
+    EXPECT_GT(t1.r.tx_pkts, 0u);
+    EXPECT_GT(t1.r.mem.park_fills, 0u);
+    expect_bitexact(t1, t4);
+    expect_bitexact(t1, t8);
+
+    double dropped = 0;
+    for (std::size_t j = 0; j < t1.tl.columns.size(); ++j)
+        if (t1.tl.columns[j] == "park_dropped")
+            for (const auto &row : t1.tl.rows)
+                dropped += row.values[j];
+    EXPECT_GT(dropped, 0.0) << "steering never exercised the "
+                               "drop-path ticket release";
+}
+
 // A single-core engine always runs the serial loop: host_threads = 1
 // must reproduce the host_threads = 0 legacy results exactly.
 TEST(Parallel, SingleCoreFallsBackToSerialLoop)
